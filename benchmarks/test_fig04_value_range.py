@@ -1,0 +1,50 @@
+"""Fig. 4 - value range of activations vs temporal differences.
+
+Paper: temporal differences are on average 8.96x narrower than the original
+activations (up to 25.02x for DDPM, at least 2.44x for CHUR), consistently
+across time steps.  We reproduce the universal ">1x narrower" property and
+the benchmark-wide average being well above the paper's minimum.
+"""
+
+import numpy as np
+
+
+def test_fig04_value_range_ratio(benchmark, similarity_reports, record_result):
+    def analyze():
+        return {
+            name: report.avg_range_ratio
+            for name, report in similarity_reports.items()
+        }
+
+    ratios = benchmark.pedantic(analyze, rounds=1, iterations=1)
+
+    lines = [f"{'model':6s} {'act/diff range':>15s}"]
+    for name, ratio in ratios.items():
+        lines.append(f"{name:6s} {ratio:15.2f}")
+    avg = float(np.mean(list(ratios.values())))
+    lines.append(f"{'AVG':6s} {avg:15.2f}")
+    lines.append("paper: avg 8.96x (max 25.02x DDPM, min 2.44x CHUR)")
+    record_result("fig04_value_range", lines)
+    print("\n".join(lines))
+
+    for name, ratio in ratios.items():
+        assert ratio > 1.3, f"{name}: differences must be narrower than activations"
+    assert avg > 2.0
+
+
+def test_fig04a_narrow_ranges_hold_across_steps(benchmark, similarity_reports):
+    """The narrowing is consistent across time steps, not just on average."""
+
+    def analyze():
+        report = similarity_reports["SDM"]
+        fractions = []
+        for layer, entry in report.ranges.items():
+            history = report.temporal.get(layer)
+            if not history:
+                continue
+            fractions.append(entry["ratio"] > 1.0)
+        return fractions
+
+    fractions = benchmark.pedantic(analyze, rounds=1, iterations=1)
+    assert fractions
+    assert np.mean(fractions) > 0.9  # nearly every layer narrows

@@ -1,0 +1,84 @@
+"""Fig. 6 - Bit Operations (BOPs) of the three processing methods.
+
+Paper: temporal difference processing cuts BOPs by 53.3% vs original
+activations and 23.1% vs the spatial method on average (DDPM/CHUR best);
+the reduction holds at every time step, weakest in the last steps where the
+most denoising happens.
+"""
+
+import numpy as np
+
+from repro.core import (
+    lower_dense,
+    lower_spatial,
+    lower_temporal,
+    per_step_relative_bops,
+    relative_bops,
+)
+
+
+def test_fig06a_relative_bops(benchmark, engine_results, record_result):
+    def analyze():
+        rows = {}
+        for name, result in engine_results.items():
+            trace = result.rich_trace
+            rows[name] = {
+                "act": relative_bops(lower_dense(trace)),
+                "spatial": relative_bops(lower_spatial(trace), zero_skipping=False),
+                "temporal": relative_bops(lower_temporal(trace)),
+            }
+        return rows
+
+    rows = benchmark.pedantic(analyze, rounds=1, iterations=1)
+
+    lines = [f"{'model':6s} {'act':>6s} {'spatial':>8s} {'temporal':>9s}"]
+    for name, row in rows.items():
+        lines.append(
+            f"{name:6s} {row['act']:6.3f} {row['spatial']:8.3f} {row['temporal']:9.3f}"
+        )
+    avg = {
+        key: float(np.mean([rows[m][key] for m in rows]))
+        for key in ("act", "spatial", "temporal")
+    }
+    lines.append(
+        f"AVG    {avg['act']:6.3f} {avg['spatial']:8.3f} {avg['temporal']:9.3f}"
+    )
+    lines.append(
+        "paper: temporal = 0.467x act (-53.3%), spatial-to-temporal gap -23.1%"
+    )
+    record_result("fig06_bops", lines)
+    print("\n".join(lines))
+
+    for name, row in rows.items():
+        assert row["temporal"] < row["act"], name
+        assert row["temporal"] < row["spatial"], name
+    assert avg["temporal"] < 0.75  # meaningful reduction on average
+    assert avg["temporal"] < avg["spatial"] - 0.05
+
+
+def test_fig06b_per_step_consistency(benchmark, engine_results, record_result):
+    """BOPs reduction holds across (almost) all adjacent time steps."""
+
+    def analyze():
+        result = engine_results["SDM"]
+        trace = lower_temporal(result.rich_trace)
+        return per_step_relative_bops(trace)
+
+    per_step = benchmark.pedantic(analyze, rounds=1, iterations=1)
+    steps = sorted(per_step)
+    series = [per_step[s] for s in steps]
+    lines = ["step relative_bops"] + [
+        f"{s:4d} {v:.3f}" for s, v in zip(steps, series)
+    ]
+    lines.append("paper: consistent reduction, weakest at the final steps")
+    record_result("fig06b_bops_per_step", lines)
+    print("\n".join(lines))
+
+    # Step 0 is dense (no reduction); every difference step must reduce.
+    assert series[0] >= max(series[1:])
+    assert all(v < 1.0 for v in series[1:])
+    # Deviation vs paper (documented in EXPERIMENTS.md): with random weights
+    # the trajectory smooths toward t=0, so the reduction *improves* at the
+    # final steps instead of weakening; the paper's main claim - consistent
+    # reduction across (almost) all adjacent steps - still holds.
+    assert np.mean(series[1:]) < 0.8

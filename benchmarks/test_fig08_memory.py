@@ -1,0 +1,57 @@
+"""Fig. 8 - memory-access blow-up of naive temporal difference processing.
+
+Paper: running every linear layer with temporal differences (no Defo, no
+bypass) incurs 2.75x the memory accesses of original-activation processing,
+because each layer must re-read its previous input and previous output.
+This is the problem Defo exists to solve (Figs. 14/16 measure the rescue).
+"""
+
+import numpy as np
+
+from repro.core import lower_dense, lower_temporal
+
+
+def test_fig08_naive_temporal_memory_overhead(
+    benchmark, engine_results, record_result
+):
+    def analyze():
+        rows = {}
+        for name, result in engine_results.items():
+            trace = result.rich_trace
+            dense_bytes = lower_dense(trace).total_bytes()
+            naive_bytes = lower_temporal(trace, bypass_style="none").total_bytes()
+            rows[name] = naive_bytes / dense_bytes
+        return rows
+
+    rows = benchmark.pedantic(analyze, rounds=1, iterations=1)
+
+    lines = [f"{'model':6s} {'naive temporal / act':>21s}"]
+    for name, ratio in rows.items():
+        lines.append(f"{name:6s} {ratio:21.2f}")
+    avg = float(np.mean(list(rows.values())))
+    lines.append(f"{'AVG':6s} {avg:21.2f}")
+    lines.append("paper: 2.75x on average")
+    record_result("fig08_memory", lines)
+    print("\n".join(lines))
+
+    for name, ratio in rows.items():
+        assert ratio > 1.2, f"{name}: temporal must cost extra memory traffic"
+    assert 1.5 < avg < 4.5  # paper: 2.75x
+
+
+def test_fig08_dependency_bypass_reduces_traffic(benchmark, engine_results):
+    """Defo's static bypass (difference reuse across chained linear layers)
+    must never increase traffic and should help at least somewhere."""
+
+    def analyze():
+        deltas = []
+        for result in engine_results.values():
+            trace = result.rich_trace
+            naive = lower_temporal(trace, bypass_style="none").total_bytes()
+            chained = lower_temporal(trace, bypass_style="chained").total_bytes()
+            deltas.append((naive, chained))
+        return deltas
+
+    deltas = benchmark.pedantic(analyze, rounds=1, iterations=1)
+    assert all(chained <= naive for naive, chained in deltas)
+    assert any(chained < naive for naive, chained in deltas)

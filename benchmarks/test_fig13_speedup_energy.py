@@ -1,0 +1,92 @@
+"""Fig. 13 - speedup and energy of all hardware designs, normalized to ITC.
+
+Paper headline numbers: Ditto averages 1.5x speedup over ITC (the fastest
+difference-processing design); Ditto+ adds ~6%; Diffy trails Ditto by ~24%;
+Cambricon-D is 1.56x slower than Ditto and burns more energy than ITC on
+several benchmarks; every dedicated accelerator beats the GPU, whose
+relative energy is 22x-131x.  Ditto/Ditto+ save 17.74% / 22.92% energy vs
+ITC, with the Encoding Unit / VPU / Defo Unit contributing only ~2.2% /
+~2.9% / ~0.0001% of Ditto's energy.
+"""
+
+import numpy as np
+
+from repro.hw import FIG13_DESIGNS, evaluate_designs
+
+DESIGN_ORDER = ["GPU", "ITC", "Diffy", "Cambricon-D", "Ditto", "Ditto+"]
+
+
+def test_fig13_speedup_and_energy(benchmark, engine_results, record_result):
+    def analyze():
+        table = {}
+        for name, result in engine_results.items():
+            table[name] = evaluate_designs(FIG13_DESIGNS, result.rich_trace)
+        return table
+
+    table = benchmark.pedantic(analyze, rounds=1, iterations=1)
+
+    speedups = {d: [] for d in DESIGN_ORDER}
+    energies = {d: [] for d in DESIGN_ORDER}
+    lines = [
+        f"{'model':6s} " + " ".join(f"{d[:7]:>13s}" for d in DESIGN_ORDER),
+        f"{'':6s} " + " ".join(f"{'spd/energy':>13s}" for _ in DESIGN_ORDER),
+    ]
+    for model, results in table.items():
+        itc = results["ITC"].report
+        cells = []
+        for design in DESIGN_ORDER:
+            report = results[design].report
+            speedup = itc.total_cycles / report.total_cycles
+            energy = report.total_energy_pj / itc.total_energy_pj
+            speedups[design].append(speedup)
+            energies[design].append(energy)
+            cells.append(f"{speedup:5.2f}/{energy:7.2f}")
+        lines.append(f"{model:6s} " + " ".join(cells))
+    avg_speed = {d: float(np.mean(v)) for d, v in speedups.items()}
+    avg_energy = {d: float(np.mean(v)) for d, v in energies.items()}
+    lines.append(
+        "AVG    "
+        + " ".join(f"{avg_speed[d]:5.2f}/{avg_energy[d]:7.2f}" for d in DESIGN_ORDER)
+    )
+    lines.append(
+        "paper: Ditto 1.5x / 0.82x vs ITC; Diffy -24% vs Ditto; "
+        "Cam-D 1.56x slower than Ditto; GPU energy 22-131x"
+    )
+
+    # Energy breakdown of the Ditto units (paper: EU 2.23%, VPU 2.9%).
+    ditto_any = table["DDPM"]["Ditto"].report
+    breakdown = ditto_any.energy_breakdown_pj()
+    total = sum(breakdown.values())
+    lines.append(
+        "Ditto energy shares (DDPM): "
+        + ", ".join(f"{k} {100 * v / total:.2f}%" for k, v in sorted(breakdown.items()))
+    )
+    record_result("fig13_speedup_energy", lines)
+    print("\n".join(lines))
+
+    # --- shape assertions --------------------------------------------------
+    for model, results in table.items():
+        itc_cycles = results["ITC"].report.total_cycles
+        # Every dedicated accelerator beats the GPU.
+        for design in ("ITC", "Diffy", "Ditto", "Ditto+"):
+            assert (
+                results[design].report.total_cycles
+                < results["GPU"].report.total_cycles
+            ), (model, design)
+        # Ditto is the fastest difference-processing design.
+        assert results["Ditto"].report.total_cycles < results["Cambricon-D"].report.total_cycles
+        assert results["Ditto"].report.total_cycles <= results["Diffy"].report.total_cycles
+        # Ditto beats the dense baseline.
+        assert results["Ditto"].report.total_cycles < itc_cycles, model
+
+    assert avg_speed["Ditto"] > 1.2  # paper: 1.5x
+    assert avg_speed["Ditto+"] > 1.2
+    assert avg_energy["Ditto"] < 0.95  # paper: 0.8226 (17.74% saving)
+    assert avg_energy["Ditto+"] <= avg_energy["Ditto"] + 0.02
+    assert avg_energy["Cambricon-D"] > avg_energy["Ditto"]
+    assert avg_energy["GPU"] > 20.0  # paper: 22.9x - 130.7x
+
+    # Unit overheads stay small (paper Section VI-B).
+    assert breakdown["encode"] / total < 0.1
+    assert breakdown["vpu"] / total < 0.1
+    assert breakdown["defo"] / total < 0.001

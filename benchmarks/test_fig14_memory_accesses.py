@@ -1,0 +1,46 @@
+"""Fig. 14 - memory accesses of the temporal-difference designs vs ITC.
+
+Paper: Cambricon-D moves 1.95x the bytes of ITC, Ditto 1.56x, Ditto+ 1.36x -
+Defo prunes exactly the memory-hungry layers, so Ditto lands between the
+dense baseline and the naive temporal design, and Ditto+ (spatial fallback,
+no prev-step traffic) lands below Ditto.
+"""
+
+import numpy as np
+
+from repro.hw import FIG13_DESIGNS, evaluate_designs
+
+DESIGNS = ["ITC", "Cambricon-D", "Ditto", "Ditto+"]
+
+
+def test_fig14_relative_memory_accesses(benchmark, engine_results, record_result):
+    def analyze():
+        rows = {}
+        for name, result in engine_results.items():
+            results = evaluate_designs(FIG13_DESIGNS, result.rich_trace)
+            itc_bytes = results["ITC"].report.total_bytes
+            rows[name] = {
+                d: results[d].report.total_bytes / itc_bytes for d in DESIGNS
+            }
+        return rows
+
+    rows = benchmark.pedantic(analyze, rounds=1, iterations=1)
+
+    lines = [f"{'model':6s} " + " ".join(f"{d[:8]:>9s}" for d in DESIGNS)]
+    for model, row in rows.items():
+        lines.append(f"{model:6s} " + " ".join(f"{row[d]:9.2f}" for d in DESIGNS))
+    avg = {d: float(np.mean([rows[m][d] for m in rows])) for d in DESIGNS}
+    lines.append("AVG    " + " ".join(f"{avg[d]:9.2f}" for d in DESIGNS))
+    lines.append("paper: ITC 1.0, Cambricon-D 1.95x, Ditto 1.56x, Ditto+ 1.36x")
+    record_result("fig14_memory_accesses", lines)
+    print("\n".join(lines))
+
+    for model, row in rows.items():
+        assert row["Cambricon-D"] > 1.0, model
+        assert row["Ditto"] >= 1.0, model
+        # Defo keeps Ditto below naive Cambricon-D; Ditto+ at or below Ditto.
+        assert row["Ditto"] <= row["Cambricon-D"] + 1e-9, model
+        assert row["Ditto+"] <= row["Ditto"] + 1e-9, model
+    assert 1.1 < avg["Cambricon-D"] < 3.0
+    assert 1.0 <= avg["Ditto"] < avg["Cambricon-D"]
+    assert avg["Ditto+"] < avg["Ditto"]

@@ -1,0 +1,84 @@
+"""Fig. 17 - Defo execution-type changes and decision accuracy.
+
+Paper: Defo flips 14.4% of layers back to original-activation execution on
+average (Defo+ flips 38.29% to spatial processing, topping out at 81.6% on
+Latte, whose video frames make spatial differences attractive); fixing the
+decision at the second time step still matches the per-step optimum with
+92% (Defo) / 88.11% (Defo+) accuracy.
+"""
+
+import numpy as np
+
+from repro.core import run_defo
+from repro.hw import build_accelerator
+
+
+def test_fig17_defo_changes_and_accuracy(benchmark, engine_results, record_result):
+    hardware = build_accelerator("Ditto")
+
+    def analyze():
+        rows = {}
+        for name, result in engine_results.items():
+            defo = run_defo(result.rich_trace, hardware)
+            defo_plus = run_defo(result.rich_trace, hardware, plus=True)
+            rows[name] = {
+                "defo_changed": defo.changed_fraction,
+                "defo_acc": defo.accuracy,
+                "plus_changed": defo_plus.changed_fraction,
+                "plus_acc": defo_plus.accuracy,
+            }
+        return rows
+
+    rows = benchmark.pedantic(analyze, rounds=1, iterations=1)
+
+    lines = [
+        f"{'model':6s} {'Defo chg%':>9s} {'Defo acc%':>9s} "
+        f"{'Defo+ chg%':>10s} {'Defo+ acc%':>10s}"
+    ]
+    for name, row in rows.items():
+        lines.append(
+            f"{name:6s} {100 * row['defo_changed']:9.1f} {100 * row['defo_acc']:9.1f} "
+            f"{100 * row['plus_changed']:10.1f} {100 * row['plus_acc']:10.1f}"
+        )
+    avg_changed = float(np.mean([r["defo_changed"] for r in rows.values()]))
+    avg_acc = float(np.mean([r["defo_acc"] for r in rows.values()]))
+    avg_plus_acc = float(np.mean([r["plus_acc"] for r in rows.values()]))
+    lines.append(
+        f"AVG: Defo changed {100 * avg_changed:.1f}% (paper 14.4%), "
+        f"accuracy {100 * avg_acc:.1f}% (paper 92%), "
+        f"Defo+ accuracy {100 * avg_plus_acc:.1f}% (paper 88.11%)"
+    )
+    record_result("fig17_defo", lines)
+    print("\n".join(lines))
+
+    # Decision accuracy stays high despite deciding at the second step.
+    assert avg_acc > 0.85
+    assert avg_plus_acc > 0.7
+    # Defo changes some but not all layers on every benchmark.
+    for name, row in rows.items():
+        assert 0.0 < row["defo_changed"] < 1.0, name
+    # Defo+ flips at least as many layers (its fallback is cheaper).
+    for name, row in rows.items():
+        assert row["plus_changed"] >= row["defo_changed"] - 1e-9, name
+
+
+def test_fig17_latte_prefers_spatial(benchmark, engine_results):
+    """Video frames are spatially redundant: Latte flips the most layers
+    under Defo+ (paper: 81.6%)."""
+    hardware = build_accelerator("Ditto")
+
+    def analyze():
+        fracs = {}
+        for name, result in engine_results.items():
+            fracs[name] = run_defo(
+                result.rich_trace, hardware, plus=True
+            ).changed_fraction
+        return fracs
+
+    fracs = benchmark.pedantic(analyze, rounds=1, iterations=1)
+    # Deviation vs paper (see EXPERIMENTS.md): our random-weight conv models
+    # flip more layers than the paper's trained ones for memory reasons, so
+    # Latte is not the global maximum; within the transformer family the
+    # paper's ordering (video > image) holds, driven by Latte having the
+    # highest spatial similarity of all benchmarks (Fig. 3 reproduction).
+    assert fracs["Latte"] >= fracs["DiT"]

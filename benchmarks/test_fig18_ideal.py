@@ -1,0 +1,65 @@
+"""Fig. 18 - Defo against the oracle (Ideal-Ditto).
+
+Paper: fixing the execution flow at the second time step costs almost
+nothing - Ditto reaches 98.8% of Ideal-Ditto's performance and Ditto+
+reaches 95.8%, because the layers Defo mispredicts sit at the decision
+threshold where either choice costs about the same.
+"""
+
+import numpy as np
+
+from repro.hw import FIG18_DESIGNS, evaluate_designs
+
+
+def test_fig18_defo_vs_ideal(benchmark, engine_results, record_result):
+    def analyze():
+        rows = {}
+        for name, result in engine_results.items():
+            results = evaluate_designs(FIG18_DESIGNS, result.rich_trace)
+            rows[name] = {
+                "ditto_of_ideal": (
+                    results["Ideal-Ditto"].report.total_cycles
+                    / results["Ditto"].report.total_cycles
+                ),
+                "plus_of_ideal": (
+                    results["Ideal-Ditto+"].report.total_cycles
+                    / results["Ditto+"].report.total_cycles
+                ),
+                "speedups": {
+                    d: (
+                        results["ITC"].report.total_cycles
+                        / results[d].report.total_cycles
+                    )
+                    for d in ("Ditto", "Ideal-Ditto", "Ditto+", "Ideal-Ditto+")
+                },
+            }
+        return rows
+
+    rows = benchmark.pedantic(analyze, rounds=1, iterations=1)
+
+    lines = [f"{'model':6s} {'Ditto/Ideal':>11s} {'Ditto+/Ideal+':>13s}"]
+    for name, row in rows.items():
+        lines.append(
+            f"{name:6s} {100 * row['ditto_of_ideal']:10.1f}% "
+            f"{100 * row['plus_of_ideal']:12.1f}%"
+        )
+    avg = float(np.mean([r["ditto_of_ideal"] for r in rows.values()]))
+    avg_plus = float(np.mean([r["plus_of_ideal"] for r in rows.values()]))
+    lines.append(
+        f"AVG: Ditto reaches {100 * avg:.1f}% of ideal (paper 98.8%), "
+        f"Ditto+ {100 * avg_plus:.1f}% (paper 95.8%)"
+    )
+    record_result("fig18_ideal", lines)
+    print("\n".join(lines))
+
+    for name, row in rows.items():
+        # The oracle can only be faster or equal.
+        assert row["ditto_of_ideal"] <= 1.0 + 1e-9, name
+        assert row["plus_of_ideal"] <= 1.0 + 1e-9, name
+        # The ideal design itself must beat the dense baseline.
+        assert row["speedups"]["Ideal-Ditto"] > 1.0, name
+    assert avg > 0.9  # paper: 98.8%
+    # Defo+ sits further from its oracle here than in the paper (95.8%):
+    # spatial-difference statistics drift across steps under random weights,
+    # so the second-step decision ages faster (see EXPERIMENTS.md).
+    assert avg_plus > 0.7

@@ -1,0 +1,128 @@
+"""Table II - generation quality of FP32 vs Ditto-processed models.
+
+Paper: the Ditto algorithm (8-bit quantization + temporal difference
+processing) preserves FID / IS / CLIP-score across all seven benchmarks
+(e.g. DDPM 4.143 -> 4.406 FID; SDM CLIP-score 0.310 -> 0.309).
+
+The reproduction's metrics are proxies over a frozen feature extractor
+(DESIGN.md): we check the same *property* - the Ditto pipeline's metric
+stays close to its own FP32 pipeline's metric, and sample-for-sample the
+two pipelines produce nearly identical images (difference processing is
+bit-exact vs the dense quantized model, so the only gap is 8-bit
+quantization itself).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DittoEngine
+from repro.diffusion import DiffusionSchedule, GenerationPipeline, make_sampler
+from repro.metrics import (
+    FeatureExtractor,
+    clip_score,
+    fid_score,
+    inception_score,
+    snr_db,
+)
+from repro.workloads import SUITE, sample_prompts, synthetic_images
+
+BATCH = 6
+STEPS = 12
+MODELS = ("DDPM", "IMG", "SDM", "DiT")
+
+
+def generate_pair(name):
+    """FP32 samples and Ditto (quantized, temporal) samples, same seed."""
+    spec = SUITE[name]
+    steps = min(STEPS, spec.num_steps)
+    fp_model = spec.build_model()
+    schedule = DiffusionSchedule(1000)
+    sampler = make_sampler(spec.sampler, schedule, steps)
+    pipeline = GenerationPipeline(
+        fp_model, sampler, spec.sample_shape, spec.build_conditioning()
+    )
+    fp_samples = pipeline.generate(BATCH, np.random.default_rng(42))
+    engine = DittoEngine.from_benchmark(spec, num_steps=steps)
+    ditto_samples = engine.run(batch_size=BATCH, seed=42).samples
+    return fp_samples, ditto_samples
+
+
+@pytest.fixture(scope="module")
+def sample_pairs():
+    return {name: generate_pair(name) for name in MODELS}
+
+
+def test_table2_fid_is_preserved(benchmark, sample_pairs, record_result):
+    def analyze():
+        rows = {}
+        for name, (fp, ditto) in sample_pairs.items():
+            channels = fp.shape[1]
+            extractor = FeatureExtractor(image_channels=channels)
+            spec = SUITE[name]
+            if spec.latent:
+                reference = synthetic_images(spec.dataset, 24, seed=9)
+                # Latent models are scored in latent space: encode refs.
+                from repro.models import build_vae
+
+                reference = build_vae().encode(reference[:, :, :32, :32])
+                reference = reference[:, :, : fp.shape[2], : fp.shape[3]]
+            else:
+                reference = synthetic_images(spec.dataset, 24, seed=9)
+            rows[name] = {
+                "fid_fp": fid_score(fp, reference, extractor),
+                "fid_ditto": fid_score(ditto, reference, extractor),
+                "is_fp": inception_score(fp, extractor),
+                "is_ditto": inception_score(ditto, extractor),
+                "snr_db": snr_db(fp, ditto),
+            }
+        return rows
+
+    rows = benchmark.pedantic(analyze, rounds=1, iterations=1)
+
+    lines = [
+        f"{'model':6s} {'FID fp32':>9s} {'FID ditto':>10s} "
+        f"{'IS fp32':>8s} {'IS ditto':>9s} {'SNR dB':>7s}"
+    ]
+    for name, row in rows.items():
+        lines.append(
+            f"{name:6s} {row['fid_fp']:9.3f} {row['fid_ditto']:10.3f} "
+            f"{row['is_fp']:8.3f} {row['is_ditto']:9.3f} {row['snr_db']:7.1f}"
+        )
+    lines.append("paper: Ditto preserves FID/IS on every benchmark (Table II)")
+    record_result("table2_accuracy", lines)
+    print("\n".join(lines))
+
+    for name, row in rows.items():
+        # FID of the Ditto pipeline stays in the FP32 pipeline's regime.
+        scale = max(row["fid_fp"], 1.0)
+        assert abs(row["fid_ditto"] - row["fid_fp"]) / scale < 0.6, name
+        # Inception Score moves by less than 25% relative.
+        assert abs(row["is_ditto"] - row["is_fp"]) / row["is_fp"] < 0.25, name
+        # Sample-for-sample the trajectories stay close (8-bit quant only).
+        assert row["snr_db"] > 8.0, name
+
+
+def test_table2_sdm_clip_score(benchmark, sample_pairs, record_result):
+    """SDM's CLIP-score proxy is preserved (paper: 0.310 -> 0.309)."""
+    from repro.models import build_vae
+
+    def analyze():
+        fp, ditto = sample_pairs["SDM"]
+        vae = build_vae()
+        prompts = sample_prompts(BATCH)
+        fp_images = vae.decode(fp)
+        ditto_images = vae.decode(ditto)
+        extractor = FeatureExtractor(image_channels=3)
+        return (
+            clip_score(fp_images, prompts, extractor),
+            clip_score(ditto_images, prompts, extractor),
+        )
+
+    cs_fp, cs_ditto = benchmark.pedantic(analyze, rounds=1, iterations=1)
+    lines = [
+        f"CLIP-score proxy: fp32 {cs_fp:.4f}, ditto {cs_ditto:.4f}",
+        "paper: 0.310 -> 0.309",
+    ]
+    record_result("table2_clip_score", lines)
+    print("\n".join(lines))
+    assert abs(cs_ditto - cs_fp) < 0.1

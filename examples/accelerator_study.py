@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Accelerator design-space study on one benchmark (paper Figs. 13-18).
+
+Runs one instrumented generation, then sweeps:
+
+* the Fig. 13 hardware comparison (GPU / ITC / Diffy / Cambricon-D / Ditto /
+  Ditto+) with energy breakdowns,
+* the Fig. 16 mechanism ablation (DS / DB / DB&DS / +attention / Defo),
+* the Fig. 18 oracle comparison (Defo vs Ideal-Ditto),
+* the Fig. 17 view of which layers Defo flips and why.
+
+Run:  python examples/accelerator_study.py [BENCHMARK]   (default: SDM)
+"""
+
+import sys
+
+from repro.core import DittoEngine, ExecutionMode
+from repro.hw import (
+    FIG13_DESIGNS,
+    FIG16_DESIGNS,
+    FIG18_DESIGNS,
+    evaluate_designs,
+)
+from repro.workloads import get_benchmark
+
+
+def sweep(title, designs, rich_trace):
+    results = evaluate_designs(designs, rich_trace)
+    itc = results["ITC"].report
+    print(f"\n== {title}")
+    print(f"{'design':14s} {'speedup':>8s} {'energy':>7s} {'mem':>6s} {'stall%':>7s}")
+    for name, result in results.items():
+        report = result.report
+        print(
+            f"{name:14s} {itc.total_cycles / report.total_cycles:8.2f} "
+            f"{report.total_energy_pj / itc.total_energy_pj:7.2f} "
+            f"{report.total_bytes / itc.total_bytes:6.2f} "
+            f"{100 * report.stall_cycles / max(report.total_cycles, 1):7.1f}"
+        )
+    return results
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "SDM"
+    spec = get_benchmark(name)
+    print(f"benchmark: {spec.name} ({spec.description})")
+    engine = DittoEngine.from_benchmark(spec)
+    result = engine.run(seed=0)
+    print(result.summary())
+
+    fig13 = sweep("Fig.13: hardware comparison", FIG13_DESIGNS, result.rich_trace)
+    sweep("Fig.16: mechanism ablation", FIG16_DESIGNS, result.rich_trace)
+    sweep("Fig.18: Defo vs oracle", FIG18_DESIGNS, result.rich_trace)
+
+    # -- Fig. 17: what did Defo decide, and why? ---------------------------
+    defo = fig13["Ditto"].defo
+    print(f"\n== Fig.17: {defo.summary()}")
+    flipped = sorted(
+        defo.changed_layers,
+        key=lambda layer: defo.cycle_diff.get(layer, 0.0),
+        reverse=True,
+    )
+    print("layers reverted to original-activation execution (top 10 by cost):")
+    for layer in flipped[:10]:
+        act = defo.cycle_act.get(layer, float("nan"))
+        diff = defo.cycle_diff.get(layer, float("nan"))
+        print(f"  {layer:42s} act {act:10.1f} cyc vs diff {diff:10.1f} cyc")
+    kept = [
+        layer
+        for layer, mode in defo.decisions.items()
+        if mode is ExecutionMode.TEMPORAL
+    ]
+    print(f"{len(kept)} layers keep temporal difference processing")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Quickstart: run the Ditto algorithm on a diffusion benchmark.
+
+This walks the whole public API surface in ~40 lines of actual code:
+
+1. pick a Table I benchmark,
+2. build a quantized, calibrated engine and record an instrumented run,
+3. inspect the temporal-difference statistics the Ditto paper builds on,
+4. evaluate the Ditto accelerator against the ITC baseline with Defo.
+
+Run:  python examples/quickstart.py [BENCHMARK]   (default: DDPM)
+"""
+
+import sys
+
+from repro.core import DittoEngine, lower_temporal, relative_bops
+from repro.core.bitwidth import BitWidthStats
+from repro.hw import FIG13_DESIGNS, evaluate_designs
+from repro.workloads import get_benchmark
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "DDPM"
+    spec = get_benchmark(name)
+    print(f"benchmark: {spec.name} - {spec.description}")
+    print(f"sampler:   {spec.sampler} x {spec.num_steps} steps "
+          f"(paper: {spec.paper_steps})")
+
+    # One instrumented generation run records everything Ditto needs.
+    engine = DittoEngine.from_benchmark(spec)
+    result = engine.run(seed=0)
+    print(result.summary())
+
+    # -- the paper's observation: temporal differences are tiny -------------
+    stats = BitWidthStats.empty()
+    for step in result.rich_trace:
+        if step.stats_temporal is not None:
+            stats = stats.merge(step.stats_temporal)
+    print(
+        f"temporal differences: {100 * stats.zero_frac:.1f}% zero, "
+        f"{100 * stats.low_or_zero_frac:.1f}% fit in 4 bits"
+    )
+    bops = relative_bops(lower_temporal(result.rich_trace))
+    print(f"relative BOPs with temporal processing: {bops:.3f} (dense = 1.0)")
+
+    # -- hardware: Ditto vs the baselines ------------------------------------
+    designs = evaluate_designs(FIG13_DESIGNS, result.rich_trace)
+    itc = designs["ITC"].report
+    print(f"\n{'design':13s} {'speedup':>8s} {'rel. energy':>12s}")
+    for design_name, design_result in designs.items():
+        report = design_result.report
+        print(
+            f"{design_name:13s} {itc.total_cycles / report.total_cycles:8.2f} "
+            f"{report.total_energy_pj / itc.total_energy_pj:12.2f}"
+        )
+    defo = designs["Ditto"].defo
+    print(f"\n{defo.summary()}")
+
+
+if __name__ == "__main__":
+    main()

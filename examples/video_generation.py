@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Video generation with Latte under Ditto - the Defo+ showcase.
+
+Latte denoises short clips with factorized spatio-temporal attention.
+Because adjacent *frames* are redundant, Latte is the paper's one benchmark
+where spatial difference processing shines: Fig. 17 reports Defo+ switching
+81.6% of its layers to spatial differences.  This example reproduces that
+behaviour on the scaled model, generates a clip, and reports per-frame
+coherence.
+
+Run:  python examples/video_generation.py
+"""
+
+import numpy as np
+
+from repro.core import DittoEngine
+from repro.hw import DesignPoint, evaluate_design, evaluate_designs, FIG13_DESIGNS
+from repro.workloads import get_benchmark
+
+
+def main() -> None:
+    spec = get_benchmark("Latte")
+    print(f"benchmark: {spec.name} ({spec.description})")
+    engine = DittoEngine.from_benchmark(spec)
+    result = engine.run(seed=0)
+    print(result.summary())
+
+    clip = result.samples[0]  # (frames, C, H, W)
+    print(f"generated clip: {clip.shape[0]} frames of {clip.shape[1:]}")
+    for f in range(clip.shape[0] - 1):
+        a, b = clip[f].ravel(), clip[f + 1].ravel()
+        cos = float(a @ b / (np.linalg.norm(a) * np.linalg.norm(b)))
+        print(f"  frame {f} -> {f + 1}: cosine similarity {cos:.3f}")
+
+    # -- Defo vs Defo+ on video -------------------------------------------
+    results = evaluate_designs(FIG13_DESIGNS, result.rich_trace)
+    ditto = results["Ditto"]
+    ditto_plus = results["Ditto+"]
+    itc = results["ITC"].report
+    print(f"\nDitto : speedup {itc.total_cycles / ditto.report.total_cycles:.2f}, "
+          f"{ditto.defo.summary()}")
+    print(f"Ditto+: speedup {itc.total_cycles / ditto_plus.report.total_cycles:.2f}, "
+          f"{ditto_plus.defo.summary()}")
+    print(
+        "Defo+ flips more layers on video than on any image benchmark - "
+        "frames give spatial differences real leverage (paper Fig. 17: 81.6%)."
+    )
+
+    # Dynamic-Ditto also runs out of the box:
+    dyn = evaluate_design(
+        DesignPoint("Dynamic-Ditto", "Ditto", "dynamic"), result.rich_trace
+    )
+    print(f"Dynamic-Ditto: speedup "
+          f"{itc.total_cycles / dyn.report.total_cycles:.2f} ({dyn.defo.summary()})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: the sandbox has no `wheel` package, so editable
+installs must go through `setup.py develop` (pip --no-use-pep517)."""
+
+from setuptools import setup
+
+setup()

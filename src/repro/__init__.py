@@ -1,0 +1,33 @@
+"""Ditto: Accelerating Diffusion Model via Temporal Value Similarity.
+
+Full reproduction of the HPCA 2025 paper: a pure-numpy diffusion-model stack
+(models, samplers, quantization), the Ditto temporal-difference algorithm
+with Defo execution-flow optimization, and an analytic cycle/energy simulator
+for the Ditto hardware and its baselines (GPU, ITC, Diffy, Cambricon-D).
+
+Quick start::
+
+    from repro.workloads import get_benchmark
+    from repro.core import DittoEngine
+
+    spec = get_benchmark("DDPM")
+    engine = DittoEngine.from_benchmark(spec, num_steps=10)
+    result = engine.run()
+    print(result.summary())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "nn",
+    "models",
+    "diffusion",
+    "quant",
+    "core",
+    "hw",
+    "metrics",
+    "workloads",
+    "analysis",
+    "export",
+    "cli",
+]

@@ -1,0 +1,134 @@
+"""High-level analysis helpers: one-call studies and text tables.
+
+These compose the engine, policies, and hardware models into the studies a
+user actually wants to run ("how does Ditto do on this benchmark?"), and
+render aligned text tables for terminals / logs.  The CLI (`python -m
+repro`) is a thin wrapper over this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .core import DittoEngine, lower_dense, lower_spatial, lower_temporal, relative_bops
+from .core.bitwidth import BitWidthStats
+from .core.engine import EngineResult
+from .hw import FIG13_DESIGNS, DesignPoint, evaluate_designs
+from .workloads import get_benchmark
+
+__all__ = ["format_table", "BenchmarkStudy", "run_study"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render an aligned plain-text table."""
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    cells = [[render(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class BenchmarkStudy:
+    """Everything one benchmark study produced, with render helpers."""
+
+    benchmark: str
+    engine_result: EngineResult
+    design_results: Dict[str, object] = field(default_factory=dict)
+
+    # -- algorithm-level findings ------------------------------------------
+    def temporal_stats(self) -> BitWidthStats:
+        total = BitWidthStats.empty()
+        for step in self.engine_result.rich_trace:
+            if step.stats_temporal is not None:
+                total = total.merge(step.stats_temporal)
+        return total
+
+    def bops_table(self) -> str:
+        trace = self.engine_result.rich_trace
+        rows = [
+            ["activation", relative_bops(lower_dense(trace))],
+            ["spatial diff", relative_bops(lower_spatial(trace), zero_skipping=False)],
+            ["temporal diff", relative_bops(lower_temporal(trace))],
+        ]
+        return format_table(["method", "relative BOPs"], rows)
+
+    # -- hardware-level findings --------------------------------------------
+    def hardware_table(self) -> str:
+        itc = self.design_results["ITC"].report
+        rows = []
+        for name, result in self.design_results.items():
+            report = result.report
+            rows.append(
+                [
+                    name,
+                    itc.total_cycles / report.total_cycles,
+                    report.total_energy_pj / itc.total_energy_pj,
+                    report.total_bytes / itc.total_bytes,
+                    100.0 * report.stall_cycles / max(report.total_cycles, 1.0),
+                ]
+            )
+        return format_table(
+            ["design", "speedup", "rel.energy", "rel.mem", "stall%"], rows
+        )
+
+    def summary(self) -> str:
+        stats = self.temporal_stats()
+        parts = [
+            self.engine_result.summary(),
+            (
+                f"temporal diffs: {100 * stats.zero_frac:.1f}% zero, "
+                f"{100 * stats.low_or_zero_frac:.1f}% <=4-bit"
+            ),
+        ]
+        defo = self.design_results.get("Ditto")
+        if defo is not None and defo.defo is not None:
+            parts.append(defo.defo.summary())
+        return "\n".join(parts)
+
+
+def run_study(
+    benchmark: str,
+    num_steps: Optional[int] = None,
+    designs: Optional[List[DesignPoint]] = None,
+    seed: int = 0,
+    step_clusters: int = 1,
+) -> BenchmarkStudy:
+    """Run one benchmark end to end and evaluate the hardware designs."""
+    spec = get_benchmark(benchmark)
+    if step_clusters > 1:
+        engine = DittoEngine.from_model(
+            spec.build_model(),
+            sampler_name=spec.sampler,
+            num_steps=num_steps or spec.num_steps,
+            sample_shape=spec.sample_shape,
+            conditioning=spec.build_conditioning(),
+            step_clusters=step_clusters,
+            benchmark=spec.name,
+        )
+    else:
+        engine = DittoEngine.from_benchmark(spec, num_steps=num_steps)
+    result = engine.run(seed=seed)
+    design_results = evaluate_designs(designs or FIG13_DESIGNS, result.rich_trace)
+    return BenchmarkStudy(
+        benchmark=spec.name,
+        engine_result=result,
+        design_results=design_results,
+    )

@@ -1,0 +1,148 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show the Table I benchmark suite.
+``run BENCH``
+    Run one benchmark end-to-end (engine + Fig. 13 hardware sweep) and
+    print the study tables.  ``--steps``, ``--seed``, ``--clusters``
+    control the run.
+``similarity BENCH``
+    FP32 activation-similarity analysis (paper Figs. 3-4).
+``sweep``
+    Run every benchmark and print the Fig. 13-style summary matrix.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from . import __version__
+from .analysis import format_table, run_study
+from .core import similarity_report
+from .diffusion import DiffusionSchedule, GenerationPipeline, make_sampler
+from .workloads import SUITE, get_benchmark
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Ditto (HPCA 2025) reproduction - benchmarks and studies",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the Table I benchmarks")
+
+    run_p = sub.add_parser("run", help="run one benchmark study")
+    run_p.add_argument("benchmark", choices=list(SUITE))
+    run_p.add_argument("--steps", type=int, default=None, help="override step count")
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument(
+        "--clusters", type=int, default=1,
+        help="timestep-clustered quantization (TDQ synergy); 1 = global scale",
+    )
+
+    sim_p = sub.add_parser("similarity", help="Fig. 3/4 similarity analysis")
+    sim_p.add_argument("benchmark", choices=list(SUITE))
+    sim_p.add_argument("--steps", type=int, default=12)
+
+    sub.add_parser("sweep", help="run all benchmarks (Fig. 13 summary)")
+    return parser
+
+
+def _cmd_list() -> int:
+    rows = [
+        [name, spec.sampler, spec.num_steps, spec.paper_steps,
+         "x".join(map(str, spec.sample_shape)), spec.dataset]
+        for name, spec in SUITE.items()
+    ]
+    print(format_table(
+        ["name", "sampler", "steps", "paper", "shape", "dataset"], rows
+    ))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    study = run_study(
+        args.benchmark,
+        num_steps=args.steps,
+        seed=args.seed,
+        step_clusters=args.clusters,
+    )
+    print(study.summary())
+    print("\nBOPs (paper Fig. 6):")
+    print(study.bops_table())
+    print("\nHardware (paper Fig. 13, normalized to ITC):")
+    print(study.hardware_table())
+    return 0
+
+
+def _cmd_similarity(args: argparse.Namespace) -> int:
+    spec = get_benchmark(args.benchmark)
+    model = spec.build_model()
+    sampler = make_sampler(spec.sampler, DiffusionSchedule(1000), args.steps)
+    pipeline = GenerationPipeline(
+        model, sampler, spec.sample_shape, spec.build_conditioning()
+    )
+    rng = np.random.default_rng(1)
+    report = similarity_report(spec.name, model, lambda: pipeline.generate(1, rng))
+    print(report.summary())
+    rows = sorted(
+        (
+            (layer, float(np.mean(sims)), report.spatial.get(layer, float("nan")))
+            for layer, sims in report.temporal.items()
+        ),
+        key=lambda r: r[1],
+        reverse=True,
+    )
+    if len(rows) > 24:
+        rows = rows[:12] + [("...", float("nan"), float("nan"))] + rows[-12:]
+    print(format_table(["layer", "temporal", "spatial"], rows))
+    return 0
+
+
+def _cmd_sweep() -> int:
+    rows = []
+    for name in SUITE:
+        study = run_study(name)
+        itc = study.design_results["ITC"].report
+        ditto = study.design_results["Ditto"].report
+        ditto_plus = study.design_results["Ditto+"].report
+        rows.append(
+            [
+                name,
+                itc.total_cycles / ditto.total_cycles,
+                ditto.total_energy_pj / itc.total_energy_pj,
+                itc.total_cycles / ditto_plus.total_cycles,
+                100.0 * study.design_results["Ditto"].defo.changed_fraction,
+            ]
+        )
+    print(format_table(
+        ["bench", "Ditto spd", "Ditto energy", "Ditto+ spd", "Defo chg%"], rows
+    ))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "similarity":
+        return _cmd_similarity(args)
+    if args.command == "sweep":
+        return _cmd_sweep()
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

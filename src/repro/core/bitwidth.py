@@ -1,0 +1,88 @@
+"""Bit-width requirement analysis (paper Section III-B, Fig. 5).
+
+The paper defines the *bit-width requirement* of a quantized value as the
+minimum number of bits needed to represent it, and buckets values into
+``zero`` / ``<=4-bit`` / ``over-4-bit``.  These buckets drive everything
+downstream: BOPs accounting, the Encoding Unit's 2-bit control signal, and
+the Compute Unit's 1-vs-2-multiplier scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BitWidthStats", "classify", "required_bits", "LOW_BITS", "FULL_BITS"]
+
+LOW_BITS = 4
+FULL_BITS = 8
+
+# Two's-complement range of a signed LOW_BITS integer.
+_LOW_MIN = -(1 << (LOW_BITS - 1))
+_LOW_MAX = (1 << (LOW_BITS - 1)) - 1
+
+
+@dataclass(frozen=True)
+class BitWidthStats:
+    """Fractions of elements per bit-width bucket; fractions sum to 1."""
+
+    total: int
+    zero: int
+    low: int
+    high: int
+
+    @property
+    def zero_frac(self) -> float:
+        return self.zero / self.total if self.total else 0.0
+
+    @property
+    def low_frac(self) -> float:
+        return self.low / self.total if self.total else 0.0
+
+    @property
+    def high_frac(self) -> float:
+        return self.high / self.total if self.total else 0.0
+
+    @property
+    def low_or_zero_frac(self) -> float:
+        return self.zero_frac + self.low_frac
+
+    def merge(self, other: "BitWidthStats") -> "BitWidthStats":
+        return BitWidthStats(
+            total=self.total + other.total,
+            zero=self.zero + other.zero,
+            low=self.low + other.low,
+            high=self.high + other.high,
+        )
+
+    @staticmethod
+    def empty() -> "BitWidthStats":
+        return BitWidthStats(0, 0, 0, 0)
+
+
+def classify(values: np.ndarray) -> BitWidthStats:
+    """Bucket integer-valued ``values`` into zero / 4-bit / over-4-bit.
+
+    ``values`` must already be in the quantized integer domain (the output of
+    :meth:`repro.quant.SymmetricQuantizer.quantize` or a difference thereof).
+    """
+    v = np.asarray(values)
+    total = int(v.size)
+    zero = int(np.count_nonzero(v == 0))
+    low_or_zero = int(np.count_nonzero((v >= _LOW_MIN) & (v <= _LOW_MAX)))
+    low = low_or_zero - zero
+    high = total - low_or_zero
+    return BitWidthStats(total=total, zero=zero, low=low, high=high)
+
+
+def required_bits(values: np.ndarray) -> np.ndarray:
+    """Per-element minimum signed bit-width (0 for zeros).
+
+    A signed integer ``v != 0`` needs ``ceil(log2(max(v+1, -v))) + 1`` bits;
+    e.g. -8..7 fit in 4 bits.
+    """
+    v = np.asarray(values, dtype=np.int64)
+    magnitude = np.where(v >= 0, v + 1, -v).astype(np.float64)
+    bits = np.ceil(np.log2(np.maximum(magnitude, 1.0))) + 1.0
+    return np.where(v == 0, 0, bits.astype(np.int64))

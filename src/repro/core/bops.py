@@ -1,0 +1,88 @@
+"""Bit-Operations (BOPs) accounting (paper Section III-B, Fig. 6).
+
+Following the paper's references [5], [50], a multiply of an ``a``-bit
+activation by a ``w``-bit weight costs ``a * w`` bit operations.  With
+operands bucketed by :mod:`repro.core.bitwidth`, a layer's BOPs are::
+
+    BOPs = macs * (zero_frac * 0 + low_frac * 4*8 + high_frac * 8*8)
+
+normalized against ``macs * 8*8`` for the dense quantized baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .bitwidth import BitWidthStats, FULL_BITS, LOW_BITS
+from .modes import ExecutionMode
+from .trace import LayerStep, Trace
+
+__all__ = [
+    "bops_per_mac",
+    "layer_bops",
+    "trace_bops",
+    "relative_bops",
+    "per_step_relative_bops",
+]
+
+_DENSE_COST = FULL_BITS * FULL_BITS  # 8b activation x 8b weight
+_LOW_COST = LOW_BITS * FULL_BITS  # 4b difference x 8b weight
+
+
+def bops_per_mac(stats: BitWidthStats, zero_skipping: bool = True) -> float:
+    """Average bit-operations per MAC given operand composition.
+
+    Without zero skipping (e.g. pure dynamic-bit-width hardware), zero
+    elements still cost a low-bit operation.
+    """
+    zero_cost = 0.0 if zero_skipping else float(_LOW_COST)
+    return (
+        stats.zero_frac * zero_cost
+        + stats.low_frac * _LOW_COST
+        + stats.high_frac * _DENSE_COST
+    )
+
+
+def layer_bops(step: LayerStep, zero_skipping: bool = True) -> float:
+    """Total BOPs of one layer-step record (sub-operations included).
+
+    Dense execution runs every operand as a full 8-bit multiply, so its cost
+    is exactly ``macs * 64`` - the Fig. 6a "Activation" baseline of 1.0.
+    """
+    if step.mode is ExecutionMode.DENSE:
+        return float(step.macs * step.sub_ops * _DENSE_COST)
+    return step.macs * step.sub_ops * bops_per_mac(step.stats, zero_skipping)
+
+
+def trace_bops(trace: Trace, zero_skipping: bool = True) -> float:
+    return sum(layer_bops(s, zero_skipping) for s in trace)
+
+
+def dense_bops(trace: Trace) -> float:
+    """BOPs the same trace would cost with original 8-bit activations."""
+    return float(sum(s.macs * s.sub_ops for s in trace) * _DENSE_COST)
+
+
+def relative_bops(trace: Trace, zero_skipping: bool = True) -> float:
+    """Trace BOPs normalized to the dense 8-bit baseline (Fig. 6a)."""
+    baseline = dense_bops_reference(trace)
+    if baseline == 0:
+        return 0.0
+    return trace_bops(trace, zero_skipping) / baseline
+
+
+def dense_bops_reference(trace: Trace) -> float:
+    """Dense baseline counts each layer *once* (no difference sub-ops)."""
+    return float(sum(s.macs for s in trace) * _DENSE_COST)
+
+
+def per_step_relative_bops(
+    trace: Trace, zero_skipping: bool = True
+) -> Dict[int, float]:
+    """Per-time-step relative BOPs (Fig. 6b)."""
+    result: Dict[int, float] = {}
+    for step_index, steps in trace.by_step().items():
+        dense = sum(s.macs for s in steps) * _DENSE_COST
+        actual = sum(layer_bops(s, zero_skipping) for s in steps)
+        result[step_index] = actual / dense if dense else 0.0
+    return result

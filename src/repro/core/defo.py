@@ -1,0 +1,203 @@
+"""Defo - Ditto execution flow optimization (paper Sections IV-B, VI-C).
+
+Defo decides, per linear layer, whether temporal difference processing
+actually wins on the target hardware:
+
+1. **First time step** runs with original activations (Defo+ runs it with
+   spatial differences) and the per-layer cycle count is stored
+   (``Cycle_act``).
+2. **Second time step** runs every layer with temporal differences and the
+   cycle count is stored (``Cycle_diff``).
+3. Layers with ``Cycle_act > Cycle_diff`` keep temporal difference
+   processing for all later steps; the rest fall back to original-activation
+   execution (Defo) or spatial difference processing (Defo+).
+
+``Dynamic-Ditto`` (Fig. 19) re-evaluates the comparison every step and may
+switch a layer from difference processing back to the fallback (never the
+other direction - the hardware cannot observe difference cycles while
+running dense).  ``ideal`` is the oracle that picks the per-layer, per-step
+argmin; Fig. 17/18 measure how close Defo gets to it.
+
+The hardware model is a parameter (anything exposing
+``layer_cycles(LayerStep) -> LayerCycles``), so Defo decisions can be studied
+on Ditto hardware, Cambricon-D, or the DS/DB ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .modes import ExecutionMode
+from .policy import is_attention
+from .trace import RichLayerStep, RichTrace, Trace, derive_layer_step
+
+__all__ = ["DefoReport", "run_defo", "run_ideal"]
+
+
+@dataclass
+class DefoReport:
+    """Outcome of a Defo-governed lowering."""
+
+    trace: Trace
+    decisions: Dict[str, ExecutionMode]
+    cycle_act: Dict[str, float]
+    cycle_diff: Dict[str, float]
+    changed_layers: List[str]
+    accuracy: float
+    plus: bool
+    dynamic: bool
+    # mode actually used per (layer, step) for steps >= 2 (analysis aid)
+    assigned: Dict[Tuple[str, int], ExecutionMode] = field(default_factory=dict)
+
+    @property
+    def changed_fraction(self) -> float:
+        if not self.decisions:
+            return 0.0
+        return len(self.changed_layers) / len(self.decisions)
+
+    def summary(self) -> str:
+        kind = "Defo+" if self.plus else "Defo"
+        if self.dynamic:
+            kind = "Dynamic-" + kind
+        return (
+            f"{kind}: {len(self.changed_layers)}/{len(self.decisions)} layers "
+            f"changed ({100 * self.changed_fraction:.1f}%), "
+            f"decision accuracy {100 * self.accuracy:.1f}%"
+        )
+
+
+def _cycles(hardware, rich: RichLayerStep, mode: ExecutionMode, bypass: str) -> float:
+    return hardware.layer_cycles(derive_layer_step(rich, mode, bypass)).cycles
+
+
+def _ordered_steps(rich_trace: RichTrace) -> List[int]:
+    return sorted(rich_trace.by_step())
+
+
+def run_defo(
+    rich_trace: RichTrace,
+    hardware,
+    plus: bool = False,
+    dynamic: bool = False,
+    bypass_style: str = "chained",
+    attention_diff: bool = True,
+) -> DefoReport:
+    """Lower ``rich_trace`` under Defo (or Defo+/Dynamic-Ditto) decisions."""
+    steps = _ordered_steps(rich_trace)
+    if len(steps) < 2:
+        raise ValueError("Defo needs at least two time steps to decide")
+    by_step = rich_trace.by_step()
+    fallback = ExecutionMode.SPATIAL if plus else ExecutionMode.DENSE
+
+    def allowed_temporal(rich: RichLayerStep) -> ExecutionMode:
+        if not attention_diff and is_attention(rich):
+            return ExecutionMode.DENSE
+        return ExecutionMode.TEMPORAL
+
+    # -- step 1: store Cycle_act (fallback-mode cycles) ---------------------
+    cycle_act: Dict[str, float] = {}
+    for rich in by_step[steps[0]]:
+        cycle_act[rich.layer_name] = _cycles(hardware, rich, fallback, bypass_style)
+
+    # -- step 2: store Cycle_diff and decide --------------------------------
+    cycle_diff: Dict[str, float] = {}
+    decisions: Dict[str, ExecutionMode] = {}
+    for rich in by_step[steps[1]]:
+        name = rich.layer_name
+        mode = allowed_temporal(rich)
+        cycle_diff[name] = _cycles(hardware, rich, mode, bypass_style)
+        act = cycle_act.get(name)
+        if act is None or mode is not ExecutionMode.TEMPORAL:
+            decisions[name] = fallback
+        else:
+            decisions[name] = (
+                ExecutionMode.TEMPORAL if act > cycle_diff[name] else fallback
+            )
+
+    # -- later steps: assign modes (static Defo or Dynamic-Ditto) ----------
+    assigned: Dict[Tuple[str, int], ExecutionMode] = {}
+    current = dict(decisions)
+    correct = 0
+    total = 0
+    for step_id in steps[2:]:
+        for rich in by_step[step_id]:
+            name = rich.layer_name
+            mode = current.get(name, allowed_temporal(rich))
+            assigned[(name, step_id)] = mode
+            # Oracle for accuracy accounting (Fig. 17): per-step argmin.
+            t_cycles = _cycles(
+                hardware, rich, allowed_temporal(rich), bypass_style
+            )
+            f_cycles = _cycles(hardware, rich, fallback, bypass_style)
+            oracle = (
+                allowed_temporal(rich) if t_cycles < f_cycles else fallback
+            )
+            total += 1
+            if oracle is mode or (
+                oracle is not ExecutionMode.TEMPORAL
+                and mode is not ExecutionMode.TEMPORAL
+            ):
+                correct += 1
+            if dynamic and mode is ExecutionMode.TEMPORAL:
+                act = cycle_act.get(name)
+                if act is not None and t_cycles > act:
+                    current[name] = fallback
+
+    # -- lower the full trace ------------------------------------------------
+    first_mode = ExecutionMode.SPATIAL if plus else ExecutionMode.DENSE
+
+    def mode_for(rich: RichLayerStep) -> ExecutionMode:
+        if rich.step_index == steps[0]:
+            return first_mode
+        if rich.step_index == steps[1]:
+            return allowed_temporal(rich)
+        return assigned.get(
+            (rich.layer_name, rich.step_index), allowed_temporal(rich)
+        )
+
+    trace = rich_trace.lower(mode_for, bypass_style=bypass_style)
+    changed = [
+        name
+        for name, mode in decisions.items()
+        if mode is not ExecutionMode.TEMPORAL
+    ]
+    return DefoReport(
+        trace=trace,
+        decisions=decisions,
+        cycle_act=cycle_act,
+        cycle_diff=cycle_diff,
+        changed_layers=changed,
+        accuracy=correct / total if total else 1.0,
+        plus=plus,
+        dynamic=dynamic,
+        assigned=assigned,
+    )
+
+
+def run_ideal(
+    rich_trace: RichTrace,
+    hardware,
+    plus: bool = False,
+    bypass_style: str = "chained",
+    attention_diff: bool = True,
+) -> Trace:
+    """Oracle lowering: per-layer, per-step argmin of the mode cycle costs.
+
+    The first step still runs dense/spatial (there is nothing to difference
+    against), matching the paper's Ideal-Ditto definition.
+    """
+    steps = _ordered_steps(rich_trace)
+    fallback = ExecutionMode.SPATIAL if plus else ExecutionMode.DENSE
+
+    def mode_for(rich: RichLayerStep) -> ExecutionMode:
+        if rich.step_index == steps[0] or not rich.has_temporal:
+            return fallback
+        temporal = ExecutionMode.TEMPORAL
+        if not attention_diff and is_attention(rich):
+            return fallback
+        t_cycles = _cycles(hardware, rich, temporal, bypass_style)
+        f_cycles = _cycles(hardware, rich, fallback, bypass_style)
+        return temporal if t_cycles < f_cycles else fallback
+
+    return rich_trace.lower(mode_for, bypass_style=bypass_style)

@@ -1,0 +1,211 @@
+"""DittoEngine - one-stop driver producing rich traces and samples.
+
+The engine wires everything together for a benchmark:
+
+1. quantize the FP32 denoiser (optionally with trajectory calibration),
+2. run Defo's static graph analysis (annotating chained inputs / producer
+   non-linearities),
+3. generate a trajectory with the quantized model under a
+   :class:`~repro.core.trace.TraceRecorder`, advancing the step index once
+   per denoiser invocation (PLMS's warmup call counts as the paper's "extra
+   step"),
+4. return an :class:`EngineResult` bundling the rich trace, the generated
+   samples, and the static info.
+
+Because every execution mode reconstructs the identical quantized values,
+one engine run supports every downstream analysis: BOPs, Defo decisions on
+any hardware, and all hardware comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..diffusion.pipeline import GenerationPipeline
+from ..diffusion.samplers import make_sampler
+from ..diffusion.schedule import DiffusionSchedule
+from ..nn.module import Module
+from ..quant.calibration import calibrate_model
+from ..quant.tdq import set_active_step
+from ..quant.qlayers import (
+    quantize_model,
+    reset_model_state,
+    set_model_mode,
+)
+from .graphinfo import GraphAnalyzer, LayerStaticInfo
+from .modes import ExecutionMode
+from .trace import RichTrace, TraceRecorder
+
+__all__ = ["EngineResult", "DittoEngine"]
+
+
+@dataclass
+class EngineResult:
+    """Everything one instrumented generation run produced."""
+
+    benchmark: str
+    rich_trace: RichTrace
+    samples: np.ndarray
+    static_info: Dict[str, LayerStaticInfo] = field(default_factory=dict)
+    num_model_calls: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"{self.benchmark}: {self.num_model_calls} denoiser calls, "
+            f"{len(self.rich_trace)} layer records over "
+            f"{self.rich_trace.num_steps()} steps, "
+            f"{self.rich_trace.total_macs():,} MACs"
+        )
+
+
+class DittoEngine:
+    """Runs a quantized diffusion model and records the Ditto-rich trace."""
+
+    def __init__(
+        self,
+        qmodel: Module,
+        pipeline: GenerationPipeline,
+        benchmark: str = "custom",
+    ) -> None:
+        self.qmodel = qmodel
+        self.pipeline = pipeline
+        self.benchmark = benchmark
+        self.step_clusters = 1
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def from_model(
+        cls,
+        fp_model: Module,
+        sampler_name: str,
+        num_steps: int,
+        sample_shape,
+        conditioning: Optional[dict] = None,
+        num_train_steps: int = 1000,
+        calibrate: bool = True,
+        benchmark: str = "custom",
+        calibration_seed: int = 11,
+        step_clusters: int = 1,
+    ) -> "DittoEngine":
+        """Quantize ``fp_model`` (optionally trajectory-calibrated) and wrap it.
+
+        ``calibrate=True`` runs one FP32 trajectory first (Q-Diffusion-style
+        offline calibration) so input scales cover the whole value drift.
+        ``step_clusters > 1`` switches to timestep-clustered quantization
+        (TDQ synergy, see :mod:`repro.quant.tdq`): each cluster of steps gets
+        its own, tighter scale, and the engine re-runs one dense step at each
+        cluster boundary.  The model is quantized *in place*.
+        """
+        schedule = DiffusionSchedule(num_train_steps)
+        sampler = make_sampler(sampler_name, schedule, num_steps)
+        pipeline = GenerationPipeline(fp_model, sampler, sample_shape, conditioning)
+        rng = np.random.default_rng(calibration_seed)
+        if step_clusters > 1:
+            from ..quant.calibration import calibrate_model_clustered
+            from ..quant.tdq import set_active_step
+
+            calls = [0]
+            original_predict = pipeline.predict_noise
+
+            def stepped_predict(x: np.ndarray, t: int) -> np.ndarray:
+                set_active_step(calls[0])
+                calls[0] += 1
+                return original_predict(x, t)
+
+            pipeline.predict_noise = stepped_predict
+            try:
+                quantizers = calibrate_model_clustered(
+                    fp_model,
+                    lambda: pipeline.generate(1, rng),
+                    num_steps=pipeline.num_model_calls(),
+                    num_clusters=step_clusters,
+                )
+            finally:
+                pipeline.predict_noise = original_predict
+                set_active_step(None)
+            qmodel = quantize_model(fp_model, input_quantizers=quantizers)
+        else:
+            if calibrate:
+                scales = calibrate_model(
+                    fp_model, lambda: pipeline.generate(1, rng)
+                )
+            else:
+                scales = None
+            qmodel = quantize_model(fp_model, calibration=scales)
+        pipeline.model = qmodel
+        engine = cls(qmodel, pipeline, benchmark=benchmark)
+        engine.step_clusters = step_clusters
+        return engine
+
+    @classmethod
+    def from_benchmark(
+        cls,
+        spec,
+        num_steps: Optional[int] = None,
+        calibrate: bool = True,
+    ) -> "DittoEngine":
+        """Build an engine from a Table I :class:`BenchmarkSpec`."""
+        fp_model = spec.build_model()
+        conditioning = spec.build_conditioning()
+        return cls.from_model(
+            fp_model,
+            sampler_name=spec.sampler,
+            num_steps=num_steps or spec.num_steps,
+            sample_shape=spec.sample_shape,
+            conditioning=conditioning,
+            calibrate=calibrate,
+            benchmark=spec.name,
+        )
+
+    # -- static analysis -----------------------------------------------------
+    def analyze_graph(self, batch_size: int = 1) -> Dict[str, LayerStaticInfo]:
+        """Defo static pass: annotate layers via one probe invocation."""
+        reset_model_state(self.qmodel)
+        set_model_mode(self.qmodel, ExecutionMode.DENSE)
+        shape = (batch_size,) + self.pipeline.sample_shape
+        probe = np.random.default_rng(0).standard_normal(shape)
+        t_first = int(self.pipeline.sampler.timesteps[0])
+        info = GraphAnalyzer(self.qmodel).analyze(
+            lambda: self.pipeline.predict_noise(probe, t_first)
+        )
+        reset_model_state(self.qmodel)
+        return info
+
+    # -- instrumented generation --------------------------------------------
+    def run(self, batch_size: int = 1, seed: int = 0) -> EngineResult:
+        """Generate one batch while recording the rich trace."""
+        static_info = self.analyze_graph(batch_size)
+        reset_model_state(self.qmodel)
+        recorder = TraceRecorder()
+        calls = [0]
+        original_predict = self.pipeline.predict_noise
+
+        def counted_predict(x: np.ndarray, t: int) -> np.ndarray:
+            set_model_mode(
+                self.qmodel,
+                ExecutionMode.DENSE if calls[0] == 0 else ExecutionMode.TEMPORAL,
+            )
+            recorder.set_step(calls[0])
+            set_active_step(calls[0])
+            calls[0] += 1
+            return original_predict(x, t)
+
+        self.pipeline.predict_noise = counted_predict
+        try:
+            with recorder:
+                samples = self.pipeline.generate(
+                    batch_size, np.random.default_rng(seed)
+                )
+        finally:
+            self.pipeline.predict_noise = original_predict
+            set_active_step(None)
+        return EngineResult(
+            benchmark=self.benchmark,
+            rich_trace=recorder.trace,
+            samples=samples,
+            static_info=static_info,
+            num_model_calls=calls[0],
+        )

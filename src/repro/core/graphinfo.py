@@ -1,0 +1,147 @@
+"""Static computing-graph analysis for Defo (paper Section IV-B).
+
+"In static time, Defo applies a computing graph analysis to find all
+non-linear functions and check the dependency of layers."  This module
+reproduces that pass: it hooks every leaf module of the (quantized) model,
+runs one denoiser invocation, and reconstructs producer/consumer
+relationships by tensor identity.  The analysis annotates each quantized
+layer with:
+
+* ``producer_kind`` - what produced its input ('linear', 'silu',
+  'groupnorm', 'layernorm', 'gelu', 'softmax', or 'other').  Determines
+  whether Cambricon-D's sign-mask dataflow could bypass the prev-input
+  reload (only SiLU/GroupNorm) and whether Defo's dependency bypass applies
+  (linear producers).
+* ``chained_input`` - producer is itself a linear layer, so its difference
+  output can feed this layer directly without re-reading the previous step.
+* ``nonlinear_after`` - some consumer needs the original-domain output, so
+  the summation + Vector Processing Unit pass cannot be skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from ..nn.layers import GELU, GroupNorm, LayerNorm, SiLU, Softmax
+from ..nn.module import Module
+from ..quant.qlayers import QLayerBase, iter_qlayers
+
+__all__ = ["LayerStaticInfo", "GraphAnalyzer", "analyze_model"]
+
+
+_NONLINEAR_KINDS = {
+    SiLU: "silu",
+    GELU: "gelu",
+    Softmax: "softmax",
+    GroupNorm: "groupnorm",
+    LayerNorm: "layernorm",
+}
+
+
+def _module_kind(module: Module) -> str:
+    if isinstance(module, QLayerBase):
+        return "linear"
+    for cls, kind in _NONLINEAR_KINDS.items():
+        if isinstance(module, cls):
+            return kind
+    return "other"
+
+
+@dataclass
+class LayerStaticInfo:
+    """Static-analysis verdict for one quantized layer."""
+
+    layer_name: str
+    producer_kind: str = "other"
+    chained_input: bool = False
+    nonlinear_after: bool = True
+
+
+class GraphAnalyzer:
+    """Tensor-identity-based producer/consumer analysis."""
+
+    def __init__(self, model: Module) -> None:
+        self.model = model
+
+    def analyze(self, run_fn: Callable[[], None]) -> Dict[str, LayerStaticInfo]:
+        """Run ``run_fn`` once under hooks and return per-layer static info.
+
+        The verdicts are also written onto the quantized layers themselves
+        (``producer_kind`` / ``chained_input`` / ``nonlinear_after``) so that
+        subsequent trace records carry them.
+        """
+        # id(array) -> (kind, array ref to pin identity for the run duration)
+        producers: Dict[int, Tuple[str, np.ndarray]] = {}
+        # layer name -> producer kind of its observed input
+        input_producer: Dict[str, str] = {}
+        # id(array) -> producing qlayer name (for consumer analysis)
+        output_owner: Dict[int, str] = {}
+        # layer name -> kinds of consumers observed for its output
+        consumers: Dict[str, List[str]] = {}
+        removers = []
+
+        def make_hook(name: str, module: Module):
+            kind = _module_kind(module)
+
+            def hook(_module, inputs, output) -> None:
+                if inputs and isinstance(inputs[0], np.ndarray):
+                    src = inputs[0]
+                    produced = producers.get(id(src))
+                    if isinstance(module, QLayerBase):
+                        input_producer[name] = (
+                            produced[0] if produced is not None else "other"
+                        )
+                    owner = output_owner.get(id(src))
+                    if owner is not None:
+                        consumers.setdefault(owner, []).append(kind)
+                if isinstance(output, np.ndarray):
+                    producers[id(output)] = (kind, output)
+                    if isinstance(module, QLayerBase):
+                        output_owner[id(output)] = name
+
+            return hook
+
+        for name, module in self.model.named_modules():
+            is_leaf = not module._modules
+            if is_leaf or isinstance(module, QLayerBase):
+                if isinstance(module, QLayerBase) and module._modules:
+                    # QAttention: analysed through its child projections.
+                    continue
+                removers.append(module.register_forward_hook(make_hook(name, module)))
+        try:
+            run_fn()
+        finally:
+            for remove in removers:
+                remove()
+
+        infos: Dict[str, LayerStaticInfo] = {}
+        for name, qlayer in iter_qlayers(self.model):
+            if qlayer._modules:
+                continue  # container (QAttention); children handled below
+            producer = input_producer.get(name, "other")
+            consumer_kinds = consumers.get(name)
+            if consumer_kinds is None:
+                nonlinear_after = True  # unobserved (residual adds, output)
+            else:
+                nonlinear_after = any(k != "linear" for k in consumer_kinds)
+            info = LayerStaticInfo(
+                layer_name=name,
+                producer_kind=producer,
+                chained_input=(producer == "linear") or qlayer.chained_input,
+                nonlinear_after=nonlinear_after,
+            )
+            qlayer.producer_kind = info.producer_kind
+            qlayer.chained_input = info.chained_input
+            qlayer.nonlinear_after = info.nonlinear_after
+            infos[name] = info
+        return infos
+
+
+def analyze_model(
+    model: Module, run_fn: Callable[[], None]
+) -> Dict[str, LayerStaticInfo]:
+    """Convenience wrapper around :class:`GraphAnalyzer`."""
+    return GraphAnalyzer(model).analyze(run_fn)

@@ -1,0 +1,26 @@
+"""Execution modes for linear layers under the Ditto algorithm."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["ExecutionMode"]
+
+
+class ExecutionMode(str, Enum):
+    """How a linear layer executes at a given time step.
+
+    * ``DENSE`` - original (quantized) activations, full bit-width.
+    * ``TEMPORAL`` - difference vs the same layer's input at the previous
+      time step (the Ditto algorithm's default for steps >= 2).
+    * ``SPATIAL`` - difference vs the neighbouring row/window inside the
+      current tensor (Diffy-style; used by Defo+ where temporal processing
+      loses).
+    """
+
+    DENSE = "dense"
+    TEMPORAL = "temporal"
+    SPATIAL = "spatial"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

@@ -1,0 +1,73 @@
+"""Execution-flow policies: lowering rich traces to hardware traces.
+
+Each policy maps every :class:`~repro.core.trace.RichLayerStep` to an
+execution mode, producing the hardware-facing :class:`~repro.core.trace.Trace`
+a cycle model consumes:
+
+* ``dense`` - original quantized activations everywhere (ITC / GPU).
+* ``spatial`` - Diffy: intra-tensor differences at every step.
+* ``temporal`` - the naive Ditto algorithm / Cambricon-D software: first
+  step dense, every later step temporal differences.
+* Defo / Defo+ / ideal / dynamic policies live in :mod:`repro.core.defo`.
+
+``attention_diff=False`` forces the attention matmuls to dense, reproducing
+the original Cambricon-D behaviour that "processes attention layers with
+full bit-width operations" (paper Section VI-A).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .modes import ExecutionMode
+from .trace import RichLayerStep, RichTrace, Trace
+
+__all__ = [
+    "lower_dense",
+    "lower_spatial",
+    "lower_temporal",
+    "is_attention",
+]
+
+
+def is_attention(rich: RichLayerStep) -> bool:
+    return rich.kind.startswith("attn")
+
+
+def _guard_attention(
+    mode_for: Callable[[RichLayerStep], ExecutionMode], attention_diff: bool
+) -> Callable[[RichLayerStep], ExecutionMode]:
+    if attention_diff:
+        return mode_for
+
+    def guarded(rich: RichLayerStep) -> ExecutionMode:
+        if is_attention(rich):
+            return ExecutionMode.DENSE
+        return mode_for(rich)
+
+    return guarded
+
+
+def lower_dense(rich_trace: RichTrace) -> Trace:
+    """Every layer at every step with original 8-bit activations."""
+    return rich_trace.lower(lambda _rich: ExecutionMode.DENSE, bypass_style="none")
+
+
+def lower_spatial(rich_trace: RichTrace, attention_diff: bool = True) -> Trace:
+    """Diffy: spatial (intra-tensor) differences at every step."""
+    mode_for = _guard_attention(lambda _rich: ExecutionMode.SPATIAL, attention_diff)
+    return rich_trace.lower(mode_for, bypass_style="none")
+
+
+def lower_temporal(
+    rich_trace: RichTrace,
+    bypass_style: str = "chained",
+    attention_diff: bool = True,
+) -> Trace:
+    """Naive temporal difference processing: dense first step, diffs after.
+
+    (Records without temporal stats - the first step - fall back to dense
+    inside the lowering automatically.)
+    """
+    mode_for = _guard_attention(lambda _rich: ExecutionMode.TEMPORAL, attention_diff)
+    return rich_trace.lower(mode_for, bypass_style=bypass_style)

@@ -1,0 +1,72 @@
+"""Synthetic trace transformations for design-space exploration (Fig. 19).
+
+The paper probes Defo's robustness against *future* models whose temporal
+similarity varies across the time domain: "we adjust the value distribution
+of our benchmark to make the execution type threshold dynamic".  This module
+reproduces that adjustment: it rewrites the temporal bit-width statistics of
+a recorded rich trace with a periodic drift that moves mass from the
+zero/low buckets into the full-bit-width bucket on some steps, flipping the
+temporal-vs-fallback decision back and forth ("Ditto-like" benchmarks in
+Fig. 19).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+from typing import Callable
+
+from .bitwidth import BitWidthStats
+from .trace import RichTrace
+
+__all__ = ["degrade_stats", "apply_similarity_drift"]
+
+
+def degrade_stats(stats: BitWidthStats, severity: float) -> BitWidthStats:
+    """Move ``severity`` in [0, 1] of the zero/low mass into the high bucket.
+
+    ``severity=0`` returns the stats unchanged; ``severity=1`` makes every
+    element full bit-width (similarity fully collapsed).
+    """
+    if not 0.0 <= severity <= 1.0:
+        raise ValueError(f"severity must be in [0, 1], got {severity}")
+    moved_zero = int(round(stats.zero * severity))
+    moved_low = int(round(stats.low * severity))
+    return BitWidthStats(
+        total=stats.total,
+        zero=stats.zero - moved_zero,
+        low=stats.low - moved_low,
+        high=stats.high + moved_zero + moved_low,
+    )
+
+
+def apply_similarity_drift(
+    rich_trace: RichTrace,
+    period: int = 8,
+    strength: float = 0.9,
+    phase_fn: Callable[[int], float] = None,
+) -> RichTrace:
+    """Return a copy of ``rich_trace`` with periodically collapsing similarity.
+
+    By default the drift severity follows ``strength * sin^2(pi * step /
+    period)``: similarity is intact at the start of each period and collapses
+    mid-period, exactly the "dynamic temporal similarity across the time
+    domain" scenario of the paper's Fig. 19.
+    """
+    if period < 2:
+        raise ValueError("period must be >= 2")
+
+    def default_phase(step: int) -> float:
+        return strength * math.sin(math.pi * step / period) ** 2
+
+    severity_at = phase_fn or default_phase
+    drifted = RichTrace()
+    for rich in rich_trace:
+        if rich.stats_temporal is None:
+            drifted.append(rich)
+            continue
+        severity = float(min(max(severity_at(rich.step_index), 0.0), 1.0))
+        drifted.append(
+            replace(rich, stats_temporal=degrade_stats(rich.stats_temporal, severity))
+        )
+    return drifted

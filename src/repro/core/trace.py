@@ -1,0 +1,300 @@
+"""Layer-step execution traces - the interface between algorithm and hardware.
+
+When a quantized model runs under the Ditto engine, every linear-layer
+execution at every time step appends one :class:`RichLayerStep` to the active
+:class:`TraceRecorder`.  Because every Ditto execution mode (dense, temporal
+difference, spatial difference) reconstructs the *identical* quantized
+result, a single instrumented generation run can record the operand
+composition of all three modes at once; policies (Defo, Defo+, ideal oracle,
+Cambricon-D software, ...) and hardware models are then evaluated as pure
+post-processing over the rich trace.  This mirrors the paper's methodology of
+hooking PyTorch layers and feeding observed value statistics into the
+Sparse-DySta simulator.
+
+:class:`LayerStep` is the narrow, hardware-facing view: one chosen mode, its
+operand stats, and its byte traffic.  :func:`derive_layer_step` lowers a rich
+record into it.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, List, Optional
+
+from .bitwidth import BitWidthStats
+from .modes import ExecutionMode
+
+__all__ = [
+    "ACT_BYTES",
+    "STATE_BYTES",
+    "SIGN_MASK_KINDS",
+    "LayerStep",
+    "RichLayerStep",
+    "derive_layer_step",
+    "Trace",
+    "RichTrace",
+    "TraceRecorder",
+    "record_step",
+]
+
+# Byte widths used by the traffic model: activations and weights travel as
+# 8-bit quantized values.  The carried-over output state of temporal
+# difference processing is held as requantized 8-bit values in the activation
+# buffers (partial sums stay 32-bit only inside the PE accumulation buffer,
+# paper Section V-C), so it streams at 1 byte per element like activations.
+ACT_BYTES = 1
+STATE_BYTES = 1
+
+
+@dataclass
+class LayerStep:
+    """One linear-layer execution at one time step, in one chosen mode."""
+
+    step_index: int
+    layer_name: str
+    kind: str  # 'conv' | 'fc' | 'attn_qk' | 'attn_pv'
+    mode: ExecutionMode
+    macs: int  # multiply-accumulates of the layer operation
+    data_elems: int  # multiplier-operand elements (stats domain)
+    stats: BitWidthStats  # composition of those elements
+    bytes_in: int  # current-step input activation traffic
+    bytes_weight: int  # weight traffic
+    bytes_out: int  # output activation traffic
+    bytes_extra: int  # prev-step input/output traffic added by temporal mode
+    vpu_elems: int  # elements the Vector Processing Unit touches afterwards
+    sub_ops: int = 1  # attention temporal mode runs 2 sub-operations
+    nonlinear_after: bool = True
+    chained_input: bool = False  # producer is linear -> difference reusable
+
+    @property
+    def bytes_total(self) -> int:
+        return self.bytes_in + self.bytes_weight + self.bytes_out + self.bytes_extra
+
+    def with_mode(self, mode: ExecutionMode, **changes) -> "LayerStep":
+        return replace(self, mode=mode, **changes)
+
+
+@dataclass
+class RichLayerStep:
+    """One linear-layer execution with the operand stats of *every* mode."""
+
+    step_index: int
+    layer_name: str
+    kind: str
+    macs: int
+    in_elems: int  # true input-tensor elements (traffic domain)
+    out_elems: int
+    weight_elems: int
+    data_elems: int  # stats-domain elements
+    stats_dense: BitWidthStats
+    stats_spatial: BitWidthStats
+    stats_temporal: Optional[BitWidthStats]  # None on the first step
+    sub_ops_temporal: int = 1
+    vpu_elems: int = 0
+    nonlinear_after: bool = True
+    chained_input: bool = False
+    producer_kind: str = "other"  # 'linear' | 'silu' | 'groupnorm' | ...
+    executed_mode: ExecutionMode = ExecutionMode.DENSE
+
+    @property
+    def has_temporal(self) -> bool:
+        return self.stats_temporal is not None
+
+
+# Non-linearities whose difference can be reconstructed by Cambricon-D's
+# sign-mask dataflow without re-reading the previous step's input.
+SIGN_MASK_KINDS = ("silu", "groupnorm")
+
+
+def _bypasses_prev_input(rich: RichLayerStep, bypass_style: str) -> bool:
+    """Whether the previous-step input reload can be skipped.
+
+    * ``'chained'`` - Defo's static dependency analysis: the producer is a
+      linear layer, so its difference output feeds this layer directly.
+    * ``'sign_mask'`` - Cambricon-D: only SiLU / GroupNorm producers qualify.
+    * ``'both'`` - hardware applying both techniques (paper Fig. 15).
+    * ``'none'`` - naive temporal difference processing.
+    """
+    if bypass_style == "chained":
+        return rich.chained_input
+    if bypass_style == "sign_mask":
+        return rich.producer_kind in SIGN_MASK_KINDS
+    if bypass_style == "both":
+        return rich.chained_input or rich.producer_kind in SIGN_MASK_KINDS
+    if bypass_style == "none":
+        return False
+    raise ValueError(f"unknown bypass style {bypass_style!r}")
+
+
+def derive_layer_step(
+    rich: RichLayerStep,
+    mode: ExecutionMode,
+    bypass_style: str = "chained",
+) -> LayerStep:
+    """Lower a rich record to the hardware-facing view for ``mode``.
+
+    Falls back to DENSE when temporal stats do not exist yet (first step).
+    The byte-traffic model charges temporal mode for loading the previous
+    step's input (skipped when the bypass style applies), storing the
+    current input for the next step, and a load + store of the partial-sum
+    state.
+    """
+    if mode is ExecutionMode.TEMPORAL and not rich.has_temporal:
+        mode = ExecutionMode.DENSE
+    bytes_in = rich.in_elems * ACT_BYTES
+    bytes_weight = rich.weight_elems * ACT_BYTES
+    bytes_out = rich.out_elems * ACT_BYTES
+    if mode is ExecutionMode.TEMPORAL:
+        stats = rich.stats_temporal
+        sub_ops = rich.sub_ops_temporal
+        prev_in = (
+            0
+            if _bypasses_prev_input(rich, bypass_style)
+            else rich.in_elems * ACT_BYTES
+        )
+        bytes_extra = (
+            prev_in
+            + rich.in_elems * ACT_BYTES  # store current input for next step
+            + 2 * rich.out_elems * STATE_BYTES  # load + store partial state
+        )
+    elif mode is ExecutionMode.SPATIAL:
+        stats = rich.stats_spatial
+        sub_ops = 1
+        bytes_extra = 0
+    else:
+        stats = rich.stats_dense
+        sub_ops = 1
+        bytes_extra = 0
+    return LayerStep(
+        step_index=rich.step_index,
+        layer_name=rich.layer_name,
+        kind=rich.kind,
+        mode=mode,
+        macs=rich.macs,
+        data_elems=rich.data_elems,
+        stats=stats,
+        bytes_in=bytes_in,
+        bytes_weight=bytes_weight,
+        bytes_out=bytes_out,
+        bytes_extra=bytes_extra,
+        vpu_elems=rich.vpu_elems,
+        sub_ops=sub_ops,
+        nonlinear_after=rich.nonlinear_after,
+        chained_input=rich.chained_input,
+    )
+
+
+class _TraceBase:
+    """Grouping helpers shared by :class:`Trace` and :class:`RichTrace`."""
+
+    steps: List
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self) -> Iterator:
+        return iter(self.steps)
+
+    def append(self, step) -> None:
+        self.steps.append(step)
+
+    def layer_names(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for step in self.steps:
+            seen.setdefault(step.layer_name, None)
+        return list(seen)
+
+    def by_step(self) -> Dict[int, List]:
+        grouped: Dict[int, List] = {}
+        for step in self.steps:
+            grouped.setdefault(step.step_index, []).append(step)
+        return grouped
+
+    def by_layer(self) -> Dict[str, List]:
+        grouped: Dict[str, List] = {}
+        for step in self.steps:
+            grouped.setdefault(step.layer_name, []).append(step)
+        return grouped
+
+    def num_steps(self) -> int:
+        return len({step.step_index for step in self.steps})
+
+    def total_macs(self) -> int:
+        return sum(step.macs for step in self.steps)
+
+
+@dataclass
+class Trace(_TraceBase):
+    """Hardware-facing trace: a list of :class:`LayerStep`."""
+
+    steps: List[LayerStep] = field(default_factory=list)
+
+    def total_bytes(self) -> int:
+        return sum(step.bytes_total for step in self.steps)
+
+
+@dataclass
+class RichTrace(_TraceBase):
+    """Algorithm-level trace: a list of :class:`RichLayerStep`."""
+
+    steps: List[RichLayerStep] = field(default_factory=list)
+
+    def lower(self, mode_for, bypass_style: str = "chained") -> Trace:
+        """Produce a :class:`Trace` choosing a mode per record.
+
+        ``mode_for(rich) -> ExecutionMode`` decides each record's mode; pass
+        e.g. ``lambda r: ExecutionMode.DENSE`` for the ITC baseline or a Defo
+        decision table lookup.
+        """
+        trace = Trace()
+        for rich in self.steps:
+            trace.append(derive_layer_step(rich, mode_for(rich), bypass_style))
+        return trace
+
+
+class TraceRecorder:
+    """Thread-local registry collecting :class:`RichLayerStep` records.
+
+    The quantized layers call :func:`record_step`; whoever drives the model
+    (the Ditto engine, a test) activates a recorder with
+    ``with TraceRecorder() as rec: ...`` and advances ``set_step`` once per
+    denoiser invocation.
+    """
+
+    _local = threading.local()
+
+    def __init__(self) -> None:
+        self.trace = RichTrace()
+        self.step_index = 0
+
+    # -- context management ------------------------------------------------
+    def __enter__(self) -> "TraceRecorder":
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        stack.append(self)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._local.stack.pop()
+
+    @classmethod
+    def current(cls) -> Optional["TraceRecorder"]:
+        stack = getattr(cls._local, "stack", None)
+        return stack[-1] if stack else None
+
+    # -- recording ----------------------------------------------------------
+    def set_step(self, step_index: int) -> None:
+        self.step_index = step_index
+
+    def record(self, step: RichLayerStep) -> None:
+        self.trace.append(step)
+
+
+def record_step(step: RichLayerStep) -> None:
+    """Append ``step`` to the active recorder, if any."""
+    recorder = TraceRecorder.current()
+    if recorder is not None:
+        recorder.record(step)

@@ -1,0 +1,23 @@
+"""Diffusion processes: schedules, samplers, and the generation pipeline."""
+
+from .pipeline import GenerationPipeline
+from .samplers import (
+    DDIMSampler,
+    DDPMSampler,
+    DPMSolverPlusPlusSampler,
+    PLMSSampler,
+    Sampler,
+    make_sampler,
+)
+from .schedule import DiffusionSchedule
+
+__all__ = [
+    "DiffusionSchedule",
+    "Sampler",
+    "DDPMSampler",
+    "DDIMSampler",
+    "PLMSSampler",
+    "DPMSolverPlusPlusSampler",
+    "make_sampler",
+    "GenerationPipeline",
+]

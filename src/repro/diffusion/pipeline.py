@@ -1,0 +1,141 @@
+"""End-to-end reverse-diffusion driver.
+
+:class:`GenerationPipeline` owns the denoising model, the sampler, and the
+conditioning, and walks the reverse process from pure noise to a sample.  It
+is deliberately model-agnostic: every benchmark in Table I - pixel-space
+DDPM, latent-space LDMs, Stable-Diffusion-style text conditioning, DiT and
+Latte transformers - runs through this one loop, which is exactly the setting
+in which the Ditto observation (adjacent time steps see nearly identical
+layer inputs) arises.
+
+Step callbacks receive ``(step_index, timestep, x)`` *before* the denoiser is
+invoked; the Ditto engine uses them to advance its per-layer temporal state,
+and the analysis tooling uses layer forward hooks to capture activations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..nn.module import Module
+from .samplers import PLMSSampler, Sampler
+from .schedule import DiffusionSchedule
+
+__all__ = ["GenerationPipeline"]
+
+StepCallback = Callable[[int, int, np.ndarray], None]
+
+
+class GenerationPipeline:
+    """Drives ``sampler`` over ``model`` to generate samples.
+
+    Parameters
+    ----------
+    model:
+        A denoising module whose ``forward(x, t, **cond)`` returns the
+        predicted noise ``eps``.
+    sampler:
+        One of the samplers from :mod:`repro.diffusion.samplers`.
+    sample_shape:
+        Shape of a single sample *without* the batch dimension, e.g.
+        ``(3, 16, 16)`` for pixel space or ``(4, 8, 8)`` for latents.
+    conditioning:
+        Extra keyword arguments forwarded to the model on every call (class
+        labels, text context, ...).  Constant across time steps - the property
+        Ditto exploits for cross-attention K'/V'.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        sampler: Sampler,
+        sample_shape,
+        conditioning: Optional[Dict[str, np.ndarray]] = None,
+        guidance_scale: Optional[float] = None,
+        uncond_conditioning: Optional[Dict[str, np.ndarray]] = None,
+    ) -> None:
+        self.model = model
+        self.sampler = sampler
+        self.schedule: DiffusionSchedule = sampler.schedule
+        self.sample_shape = tuple(sample_shape)
+        self.conditioning = dict(conditioning or {})
+        if guidance_scale is not None and uncond_conditioning is None:
+            raise ValueError(
+                "classifier-free guidance needs uncond_conditioning "
+                "(e.g. the empty-prompt embedding or the null class)"
+            )
+        self.guidance_scale = guidance_scale
+        self.uncond_conditioning = dict(uncond_conditioning or {})
+
+    @staticmethod
+    def _tile_cond(cond: Dict[str, np.ndarray], batch: int) -> Dict[str, np.ndarray]:
+        """Broadcast batch-1 conditioning tensors to the sample batch."""
+        tiled = {}
+        for key, value in cond.items():
+            value = np.asarray(value)
+            if value.shape[0] == 1 and batch > 1:
+                value = np.repeat(value, batch, axis=0)
+            tiled[key] = value
+        return tiled
+
+    # -- model invocation -----------------------------------------------
+    def predict_noise(self, x: np.ndarray, t: int) -> np.ndarray:
+        """One denoiser evaluation; applies classifier-free guidance if set.
+
+        CFG runs the conditional and unconditional branches as one stacked
+        batch (``[cond; uncond]``).  The stacking is what lets the Ditto
+        temporal state stay valid: every time step sees the same layout, so
+        each batch element differences against its own previous-step value.
+        """
+        batch = x.shape[0]
+        if self.guidance_scale is None or self.guidance_scale == 1.0:
+            t_array = np.full(batch, t, dtype=np.float64)
+            return self.model(x, t_array, **self._tile_cond(self.conditioning, batch))
+        stacked = np.concatenate([x, x], axis=0)
+        cond = self._tile_cond(self.conditioning, batch)
+        uncond = self._tile_cond(self.uncond_conditioning, batch)
+        merged = {
+            key: np.concatenate([cond[key], uncond[key]], axis=0) for key in cond
+        }
+        t_array = np.full(2 * batch, t, dtype=np.float64)
+        eps = self.model(stacked, t_array, **merged)
+        eps_cond, eps_uncond = eps[:batch], eps[batch:]
+        return eps_uncond + self.guidance_scale * (eps_cond - eps_uncond)
+
+    def num_model_calls(self) -> int:
+        """Total denoiser evaluations for one trajectory (PLMS warmup incl.)."""
+        return sum(
+            self.sampler.model_calls_for_step(i)
+            for i in range(len(self.sampler.timesteps))
+        )
+
+    # -- generation -------------------------------------------------------
+    def generate(
+        self,
+        batch_size: int = 1,
+        rng: Optional[np.random.Generator] = None,
+        step_callback: Optional[StepCallback] = None,
+        x_init: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Run the full reverse process and return the generated batch."""
+        rng = rng or np.random.default_rng(0)
+        if x_init is None:
+            x = rng.standard_normal((batch_size,) + self.sample_shape)
+        else:
+            x = np.array(x_init, dtype=np.float64)
+            if x.shape[1:] != self.sample_shape:
+                raise ValueError(
+                    f"x_init shape {x.shape[1:]} != sample shape {self.sample_shape}"
+                )
+        self.sampler.reset()
+        if isinstance(self.sampler, PLMSSampler):
+            self.sampler.model_fn = self.predict_noise
+        for index, t in enumerate(self.sampler.timesteps):
+            t = int(t)
+            if step_callback is not None:
+                step_callback(index, t, x)
+            eps = self.predict_noise(x, t)
+            x = self.sampler.step(eps, index, x, rng=rng)
+        return x

@@ -1,0 +1,250 @@
+"""Reverse-process samplers: DDPM (ancestral), DDIM, and PLMS.
+
+These implement the samplers in Table I of the paper.  The property Ditto
+exploits - gradual drift of the latent across steps and therefore high
+temporal similarity of every layer's activations - is produced by these
+update rules, so they are implemented faithfully (DDIM from Song et al.,
+PLMS from Liu et al. including the pseudo-improved-Euler warmup step, which
+is the "extra step 50'" visible in the paper's Fig. 4a).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+import numpy as np
+
+from .schedule import DiffusionSchedule
+
+__all__ = ["Sampler", "DDPMSampler", "DDIMSampler", "PLMSSampler", "DPMSolverPlusPlusSampler", "make_sampler"]
+
+
+class Sampler:
+    """Base class: maps (x_t, eps_hat) -> x_{t-1} along spaced timesteps."""
+
+    name = "base"
+
+    def __init__(self, schedule: DiffusionSchedule, num_steps: int) -> None:
+        self.schedule = schedule
+        self.num_steps = num_steps
+        self.timesteps = schedule.spaced_timesteps(num_steps)
+
+    def prev_timestep(self, index: int) -> int:
+        """Training timestep the sampler jumps to from ``timesteps[index]``."""
+        if index + 1 < len(self.timesteps):
+            return int(self.timesteps[index + 1])
+        return -1
+
+    def reset(self) -> None:
+        """Clear multi-step history (PLMS); no-op for single-step samplers."""
+
+    def model_calls_for_step(self, index: int) -> int:
+        """Number of denoiser evaluations the sampler makes at ``index``."""
+        return 1
+
+    def step(
+        self,
+        eps: np.ndarray,
+        index: int,
+        x: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def _predict_x0(self, x: np.ndarray, eps: np.ndarray, a_bar: float) -> np.ndarray:
+        return (x - np.sqrt(1.0 - a_bar) * eps) / np.sqrt(a_bar)
+
+
+class DDIMSampler(Sampler):
+    """Deterministic DDIM (eta = 0 unless specified)."""
+
+    name = "ddim"
+
+    def __init__(
+        self, schedule: DiffusionSchedule, num_steps: int, eta: float = 0.0
+    ) -> None:
+        super().__init__(schedule, num_steps)
+        self.eta = eta
+
+    def step(
+        self,
+        eps: np.ndarray,
+        index: int,
+        x: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        t = int(self.timesteps[index])
+        a_bar = self.schedule.alpha_bar(t)
+        a_bar_prev = self.schedule.alpha_bar(self.prev_timestep(index))
+        x0 = self._predict_x0(x, eps, a_bar)
+        sigma = self.eta * np.sqrt(
+            (1.0 - a_bar_prev) / (1.0 - a_bar) * (1.0 - a_bar / a_bar_prev)
+        )
+        direction = np.sqrt(max(1.0 - a_bar_prev - sigma ** 2, 0.0)) * eps
+        x_prev = np.sqrt(a_bar_prev) * x0 + direction
+        if sigma > 0.0:
+            if rng is None:
+                raise ValueError("stochastic DDIM (eta>0) needs an rng")
+            x_prev = x_prev + sigma * rng.standard_normal(x.shape)
+        return x_prev
+
+
+class DDPMSampler(Sampler):
+    """Ancestral sampler of Ho et al. (stochastic posterior sampling)."""
+
+    name = "ddpm"
+
+    def step(
+        self,
+        eps: np.ndarray,
+        index: int,
+        x: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        if rng is None:
+            raise ValueError("DDPM ancestral sampling needs an rng")
+        t = int(self.timesteps[index])
+        beta = float(self.schedule.betas[t])
+        alpha = 1.0 - beta
+        a_bar = self.schedule.alpha_bar(t)
+        mean = (x - beta / np.sqrt(1.0 - a_bar) * eps) / np.sqrt(alpha)
+        if self.prev_timestep(index) < 0:
+            return mean
+        return mean + np.sqrt(beta) * rng.standard_normal(x.shape)
+
+
+class PLMSSampler(Sampler):
+    """Pseudo Linear Multi-Step sampler (Liu et al.), used by SDM in Table I.
+
+    Keeps a window of the last four noise predictions and applies the
+    4th-order Adams-Bashforth combination once warm; the very first step uses
+    the pseudo improved-Euler correction, which costs one extra denoiser
+    evaluation (the paper's "extra step").
+    """
+
+    name = "plms"
+
+    def __init__(self, schedule: DiffusionSchedule, num_steps: int) -> None:
+        super().__init__(schedule, num_steps)
+        self._history: Deque[np.ndarray] = deque(maxlen=4)
+        # Filled by the pipeline: callable that re-evaluates the denoiser,
+        # needed for the improved-Euler warmup.
+        self.model_fn = None
+
+    def reset(self) -> None:
+        self._history.clear()
+
+    def model_calls_for_step(self, index: int) -> int:
+        return 2 if index == 0 else 1
+
+    def _transfer(self, x: np.ndarray, eps: np.ndarray, index: int) -> np.ndarray:
+        t = int(self.timesteps[index])
+        a_bar = self.schedule.alpha_bar(t)
+        a_bar_prev = self.schedule.alpha_bar(self.prev_timestep(index))
+        x0 = self._predict_x0(x, eps, a_bar)
+        return np.sqrt(a_bar_prev) * x0 + np.sqrt(1.0 - a_bar_prev) * eps
+
+    def step(
+        self,
+        eps: np.ndarray,
+        index: int,
+        x: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        history = self._history
+        if len(history) == 0:
+            # Pseudo improved Euler: evaluate at the naive x_{t-1} and average.
+            x_prev_naive = self._transfer(x, eps, index)
+            if self.model_fn is not None and index + 1 <= len(self.timesteps):
+                t_prev = self.prev_timestep(index)
+                eps_next = self.model_fn(x_prev_naive, max(t_prev, 0))
+                eps_prime = 0.5 * (eps + eps_next)
+            else:
+                eps_prime = eps
+        elif len(history) == 1:
+            eps_prime = (3.0 * eps - history[-1]) / 2.0
+        elif len(history) == 2:
+            eps_prime = (23.0 * eps - 16.0 * history[-1] + 5.0 * history[-2]) / 12.0
+        else:
+            eps_prime = (
+                55.0 * eps
+                - 59.0 * history[-1]
+                + 37.0 * history[-2]
+                - 9.0 * history[-3]
+            ) / 24.0
+        history.append(eps)
+        return self._transfer(x, eps_prime, index)
+
+
+class DPMSolverPlusPlusSampler(Sampler):
+    """DPM-Solver++(2M): second-order multistep solver in lambda-space.
+
+    Not used by the paper's Table I, but the de-facto fast sampler of modern
+    diffusion deployments; provided so Ditto can be studied under very short
+    trajectories (fewer, larger steps -> weaker temporal similarity, the
+    stress case for difference processing).
+    """
+
+    name = "dpmpp"
+
+    def __init__(self, schedule: DiffusionSchedule, num_steps: int) -> None:
+        super().__init__(schedule, num_steps)
+        self._prev_x0: Optional[np.ndarray] = None
+        self._prev_h: Optional[float] = None
+
+    def reset(self) -> None:
+        self._prev_x0 = None
+        self._prev_h = None
+
+    def _coeffs(self, t: int):
+        a_bar = self.schedule.alpha_bar(t)
+        alpha = np.sqrt(a_bar)
+        sigma = np.sqrt(max(1.0 - a_bar, 1e-12))
+        return alpha, sigma, np.log(alpha / sigma)
+
+    def step(
+        self,
+        eps: np.ndarray,
+        index: int,
+        x: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        t = int(self.timesteps[index])
+        s = self.prev_timestep(index)
+        alpha_t, sigma_t, lam_t = self._coeffs(t)
+        x0 = (x - sigma_t * eps) / alpha_t
+        if self._prev_x0 is not None and self._prev_h is not None:
+            # 2M correction: extrapolate the data prediction.
+            alpha_s, sigma_s, lam_s = self._coeffs(max(s, -1))
+            h = lam_s - lam_t
+            r = self._prev_h / h if h != 0.0 else 1.0
+            data = (1.0 + 1.0 / (2.0 * r)) * x0 - (1.0 / (2.0 * r)) * self._prev_x0
+        else:
+            data = x0
+        if s < 0:
+            # Final jump to the clean-data limit.
+            x_next = data
+            h = float("inf")
+        else:
+            alpha_s, sigma_s, lam_s = self._coeffs(s)
+            h = lam_s - lam_t
+            x_next = (sigma_s / sigma_t) * x - alpha_s * np.expm1(-h) * data
+        self._prev_x0 = x0
+        self._prev_h = h if np.isfinite(h) else None
+        return x_next
+
+
+def make_sampler(
+    name: str, schedule: DiffusionSchedule, num_steps: int
+) -> Sampler:
+    """Factory mapping sampler names to implementations."""
+    table = {
+        "ddim": DDIMSampler,
+        "ddpm": DDPMSampler,
+        "plms": PLMSSampler,
+        "dpmpp": DPMSolverPlusPlusSampler,
+    }
+    if name not in table:
+        raise ValueError(f"unknown sampler {name!r}; choose from {sorted(table)}")
+    return table[name](schedule, num_steps)

@@ -1,0 +1,70 @@
+"""Noise schedules and the forward diffusion process.
+
+The reverse-process samplers in :mod:`repro.diffusion.samplers` consume a
+:class:`DiffusionSchedule`; the forward process is provided for completeness
+(it is what the paper's Fig. 1 calls the Forward Diffusion Process) and for
+building calibration trajectories with known ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["DiffusionSchedule"]
+
+
+class DiffusionSchedule:
+    """Variance schedule ``beta_1..beta_T`` plus derived quantities.
+
+    Supports the two schedules used by the Table I benchmarks: the linear
+    schedule of DDPM/LDM and the squared-cosine schedule used by improved
+    DDPM-style models.
+    """
+
+    def __init__(
+        self,
+        num_train_steps: int = 1000,
+        beta_start: float = 1e-4,
+        beta_end: float = 2e-2,
+        kind: str = "linear",
+    ) -> None:
+        if num_train_steps < 2:
+            raise ValueError("schedule needs at least 2 training steps")
+        self.num_train_steps = num_train_steps
+        self.kind = kind
+        if kind == "linear":
+            self.betas = np.linspace(beta_start, beta_end, num_train_steps)
+        elif kind == "cosine":
+            steps = np.arange(num_train_steps + 1) / num_train_steps
+            f = np.cos((steps + 0.008) / 1.008 * np.pi / 2) ** 2
+            self.betas = np.clip(1.0 - f[1:] / f[:-1], 0.0, 0.999)
+        else:
+            raise ValueError(f"unknown schedule kind {kind!r}")
+        self.alphas = 1.0 - self.betas
+        self.alphas_cumprod = np.cumprod(self.alphas)
+
+    def alpha_bar(self, t: int) -> float:
+        """``prod_{s<=t} alpha_s``; ``t=-1`` denotes the clean-image limit."""
+        if t < 0:
+            return 1.0
+        return float(self.alphas_cumprod[t])
+
+    def add_noise(
+        self, x0: np.ndarray, t: int, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Forward process: sample ``x_t ~ q(x_t | x_0)``; returns (x_t, eps)."""
+        eps = rng.standard_normal(x0.shape)
+        a_bar = self.alpha_bar(t)
+        return np.sqrt(a_bar) * x0 + np.sqrt(1.0 - a_bar) * eps, eps
+
+    def spaced_timesteps(self, num_steps: int) -> np.ndarray:
+        """Evenly spaced inference timesteps, descending (T-1 ... 0)."""
+        if not 1 <= num_steps <= self.num_train_steps:
+            raise ValueError(
+                f"num_steps must be in [1, {self.num_train_steps}], got {num_steps}"
+            )
+        stride = self.num_train_steps // num_steps
+        steps = np.arange(0, num_steps) * stride
+        return steps[::-1].copy()

@@ -1,0 +1,48 @@
+"""Design-space-exploration configurations (paper Fig. 16).
+
+The paper decomposes Ditto hardware into its two mechanisms:
+
+* **DS** (dynamic sparsity): a sparse accelerator - 8-bit MAC units with
+  zero skipping but no bit-width reduction (SparTen / SpAtten style).
+* **DB** (dynamic bit-width): a precision-scalable accelerator - 4-bit
+  multiplier lanes without zero skipping (BitFusion / DRQ style).
+* **DB&DS**: both mechanisms, i.e. the Ditto Compute Unit, but running the
+  naive all-temporal schedule without the attention trick or Defo.
+
+All variants keep the iso-area budget of Table III: the 8-bit-MAC design
+fits the ITC's 27648 units, the 4-bit designs fit 39398 lanes.
+"""
+
+from __future__ import annotations
+
+from .config import HardwareConfig
+
+__all__ = ["DS_CONFIG", "DB_CONFIG", "DBDS_CONFIG"]
+
+DS_CONFIG = HardwareConfig(
+    name="DS",
+    num_mults=27648,
+    mult_bits=8,
+    power_w=36.9,
+    supports_zero_skip=True,
+    supports_dyn_bitwidth=False,
+)
+
+DB_CONFIG = HardwareConfig(
+    name="DB",
+    num_mults=39398,
+    mult_bits=4,
+    power_w=33.6,
+    supports_zero_skip=False,
+    supports_dyn_bitwidth=True,
+)
+
+# DB&DS is exactly the Ditto Compute Unit.
+DBDS_CONFIG = HardwareConfig(
+    name="DB&DS",
+    num_mults=39398,
+    mult_bits=4,
+    power_w=33.6,
+    supports_zero_skip=True,
+    supports_dyn_bitwidth=True,
+)

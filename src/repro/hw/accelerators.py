@@ -1,0 +1,231 @@
+"""Analytic cycle/energy models of the evaluated accelerators.
+
+Modelling level (deliberately matched to what decides the paper's results):
+
+* **Compute** - an adder-tree design processes one 4-bit operand per
+  multiplier lane and pairs two lanes (plus shifter) per 8-bit operand;
+  zero operands are skipped when the Encoding Unit supports it.  Cycle count
+  is effective lane-operations divided by lane count.
+* **Memory** - a bandwidth model: bytes moved / (bytes per cycle).  Temporal
+  difference processing moves extra bytes (previous input + partial-sum
+  state), which is what turns some layers memory-bound (paper Fig. 8/16).
+* **Pipelining** - Encoding Unit, Compute Unit and Vector Processing Unit
+  overlap; a layer costs the max of its stage times (paper Section V-A).
+
+The models consume hardware-facing :class:`~repro.core.trace.LayerStep`
+records, so any execution policy (dense / Diffy spatial / naive temporal /
+Defo / ideal oracle) can be evaluated on any hardware by lowering the rich
+trace accordingly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.modes import ExecutionMode
+from ..core.trace import LayerStep, Trace
+from .config import EnergyModel, HardwareConfig, get_config
+from .report import HardwareReport, LayerCycles
+
+__all__ = [
+    "AdderTreeAccelerator",
+    "CambriconDAccelerator",
+    "GPUModel",
+    "build_accelerator",
+]
+
+
+class AdderTreeAccelerator:
+    """Generic adder-tree accelerator: covers ITC, Diffy, Ditto, DS/DB.
+
+    Behaviour is derived from the :class:`HardwareConfig` flags:
+
+    * ``mult_bits=8`` - every operand costs one lane-op (ITC, DS ablation).
+    * ``mult_bits=4`` - low-bit operands cost one lane-op, full-bit two.
+    * ``supports_zero_skip`` - zero operands cost nothing (Ditto, DS).
+    * otherwise zeros cost a low-bit operation (Diffy, DB ablation).
+    """
+
+    def __init__(self, config: HardwareConfig) -> None:
+        self.config = config
+        self.name = config.name
+
+    # -- per-stage models ---------------------------------------------------
+    def _lane_ops(self, step: LayerStep) -> Dict[str, float]:
+        """Effective lane-operations split by operand class."""
+        cfg = self.config
+        total = step.macs * step.sub_ops
+        if step.mode is ExecutionMode.DENSE:
+            # Dense execution bypasses the Encoding Unit: every operand is
+            # treated as a full 8-bit activation.
+            high = float(total)
+            return {"low": 0.0, "high": high}
+        stats = step.stats
+        zero_cost = 0.0 if cfg.supports_zero_skip else 1.0
+        low = total * (stats.low_frac + stats.zero_frac * zero_cost)
+        high = total * stats.high_frac
+        return {"low": low, "high": high}
+
+    def compute_cycles(self, step: LayerStep) -> float:
+        cfg = self.config
+        ops = self._lane_ops(step)
+        if cfg.mult_bits >= 8:
+            lane_ops = ops["low"] + ops["high"]
+        else:
+            lane_ops = ops["low"] + 2.0 * ops["high"]
+        return lane_ops / cfg.num_mults
+
+    def encode_cycles(self, step: LayerStep) -> float:
+        if step.mode is ExecutionMode.DENSE:
+            return 0.0
+        # The Encoding Unit is sized for the Compute Unit's peak low-bit
+        # throughput (paper Section V-A): one operand per lane per cycle.
+        return step.data_elems / self.config.num_mults
+
+    def vpu_cycles(self, step: LayerStep) -> float:
+        # Vector lanes are provisioned at 1/8 of the multiplier count.
+        return step.vpu_elems / max(self.config.num_mults / 8.0, 1.0)
+
+    def memory_cycles(self, step: LayerStep) -> float:
+        return step.bytes_total / self.config.dram_bw_bytes_per_cycle
+
+    # -- energy ----------------------------------------------------------
+    def _energy(self, step: LayerStep, cycles: float) -> Dict[str, float]:
+        cfg = self.config
+        e: EnergyModel = cfg.energy
+        ops = self._lane_ops(step)
+        if cfg.mult_bits >= 8:
+            compute = (ops["low"] + ops["high"]) * e.mult8_pj
+        else:
+            compute = ops["low"] * e.mult4_pj + ops["high"] * e.mult8_pj
+        breakdown = {
+            "compute": compute,
+            "encode": (
+                0.0
+                if step.mode is ExecutionMode.DENSE
+                else step.data_elems * e.encode_pj
+            ),
+            "vpu": step.vpu_elems * e.vpu_pj,
+            "defo": e.defo_pj,
+            "sram": step.bytes_total * e.sram_byte_pj,
+            "dram": step.bytes_total * e.dram_byte_pj,
+            "leak": cycles * cfg.num_mults * e.leak_per_mult_cycle_pj,
+        }
+        return breakdown
+
+    # -- driver ------------------------------------------------------------
+    def layer_cycles(self, step: LayerStep) -> LayerCycles:
+        compute = self.compute_cycles(step)
+        memory = self.memory_cycles(step)
+        encode = self.encode_cycles(step)
+        vpu = self.vpu_cycles(step)
+        cycles = max(compute, memory, encode, vpu)
+        return LayerCycles(
+            layer_name=step.layer_name,
+            step_index=step.step_index,
+            mode=str(step.mode),
+            compute_cycles=compute,
+            memory_cycles=memory,
+            encode_cycles=encode,
+            vpu_cycles=vpu,
+            energy_pj=self._energy(step, cycles),
+            bytes_moved=step.bytes_total,
+        )
+
+    def run(self, trace: Trace) -> HardwareReport:
+        report = HardwareReport(hardware=self.name)
+        for step in trace:
+            report.append(self.layer_cycles(step))
+        return report
+
+
+class CambriconDAccelerator(AdderTreeAccelerator):
+    """Cambricon-D: normal A4W8 PEs plus dedicated A8W8 outlier PEs.
+
+    Differences processed on the normal array (no zero skipping); full
+    bit-width differences are routed to the outlier PEs, so throughput is
+    ``max(normal_work / normal_lanes, outlier_work / outlier_lanes)``.
+    Original-activation (dense) execution must run entirely on the outlier
+    array - the normal PEs lack the lane-pairing shifters of the Ditto PE -
+    which is exactly the paper's criticism of outlier-PE designs
+    (Section VI-B, Fig. 15).
+    """
+
+    def compute_cycles(self, step: LayerStep) -> float:
+        cfg = self.config
+        if step.mode is ExecutionMode.DENSE:
+            return (step.macs * step.sub_ops) / cfg.outlier_mults
+        ops = self._lane_ops(step)
+        normal = ops["low"] / cfg.num_mults
+        outlier = ops["high"] / cfg.outlier_mults
+        return max(normal, outlier)
+
+    def _energy(self, step: LayerStep, cycles: float) -> Dict[str, float]:
+        breakdown = super()._energy(step, cycles)
+        if step.mode is ExecutionMode.DENSE:
+            breakdown["compute"] = (
+                step.macs * step.sub_ops * self.config.energy.mult8_pj
+            )
+        return breakdown
+
+
+class GPUModel:
+    """Roofline-with-launch-overhead model of an A100-class GPU.
+
+    Small diffusion layers underutilize GPU tensor cores and pay a per-kernel
+    launch cost; both effects are modelled with two constants.  The GPU only
+    serves as the normalization anchor of Fig. 13, so fidelity beyond "slower
+    and far less energy-efficient than the dedicated designs" is not needed.
+    """
+
+    name = "GPU"
+
+    def __init__(
+        self,
+        peak_macs_per_cycle: float = 312000.0,  # INT8 TC peak at 1 GHz equiv.
+        # Utilization reflects the small-kernel regime of diffusion denoisers
+        # (the paper's GPU baseline also runs far below peak on these layers).
+        utilization: float = 0.06,
+        launch_cycles: float = 25.0,
+        power_w: float = 400.0,
+        freq_ghz: float = 1.0,
+    ) -> None:
+        self.peak_macs_per_cycle = peak_macs_per_cycle
+        self.utilization = utilization
+        self.launch_cycles = launch_cycles
+        self.power_w = power_w
+        self.freq_ghz = freq_ghz
+
+    def layer_cycles(self, step: LayerStep) -> LayerCycles:
+        compute = (
+            step.macs / (self.peak_macs_per_cycle * self.utilization)
+            + self.launch_cycles
+        )
+        cycles = compute
+        seconds = cycles / (self.freq_ghz * 1e9)
+        energy_pj = {"gpu": self.power_w * seconds * 1e12}
+        return LayerCycles(
+            layer_name=step.layer_name,
+            step_index=step.step_index,
+            mode="dense",
+            compute_cycles=compute,
+            memory_cycles=0.0,
+            energy_pj=energy_pj,
+            bytes_moved=step.bytes_in + step.bytes_weight + step.bytes_out,
+        )
+
+    def run(self, trace: Trace) -> HardwareReport:
+        report = HardwareReport(hardware=self.name)
+        for step in trace:
+            report.append(self.layer_cycles(step))
+        return report
+
+
+def build_accelerator(name: str, config: Optional[HardwareConfig] = None):
+    """Factory for the Table III hardware models (plus the GPU anchor)."""
+    if name == "GPU":
+        return GPUModel()
+    config = config or get_config(name)
+    if name == "Cambricon-D":
+        return CambriconDAccelerator(config)
+    return AdderTreeAccelerator(config)

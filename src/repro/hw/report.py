@@ -1,0 +1,119 @@
+"""Result dataclasses produced by the hardware models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["LayerCycles", "HardwareReport"]
+
+
+@dataclass
+class LayerCycles:
+    """Cycle/energy outcome of one layer-step on one hardware model."""
+
+    layer_name: str
+    step_index: int
+    mode: str
+    compute_cycles: float
+    memory_cycles: float
+    encode_cycles: float = 0.0
+    vpu_cycles: float = 0.0
+    energy_pj: Dict[str, float] = field(default_factory=dict)
+    bytes_moved: int = 0
+
+    @property
+    def cycles(self) -> float:
+        """Pipelined execution: the slowest stage bounds the layer."""
+        return max(
+            self.compute_cycles,
+            self.memory_cycles,
+            self.encode_cycles,
+            self.vpu_cycles,
+        )
+
+    @property
+    def stall_cycles(self) -> float:
+        """Cycles the Compute Unit waits on memory."""
+        return max(0.0, self.memory_cycles - self.compute_cycles)
+
+    @property
+    def total_energy_pj(self) -> float:
+        return sum(self.energy_pj.values())
+
+
+@dataclass
+class HardwareReport:
+    """Aggregate outcome of running a full trace on one hardware model."""
+
+    hardware: str
+    layers: List[LayerCycles] = field(default_factory=list)
+
+    def append(self, layer: LayerCycles) -> None:
+        self.layers.append(layer)
+
+    # -- cycles ----------------------------------------------------------
+    @property
+    def total_cycles(self) -> float:
+        return sum(l.cycles for l in self.layers)
+
+    @property
+    def compute_cycles(self) -> float:
+        return sum(min(l.compute_cycles, l.cycles) for l in self.layers)
+
+    @property
+    def stall_cycles(self) -> float:
+        return sum(l.stall_cycles for l in self.layers)
+
+    # -- energy / traffic -------------------------------------------------
+    @property
+    def total_energy_pj(self) -> float:
+        return sum(l.total_energy_pj for l in self.layers)
+
+    def energy_breakdown_pj(self) -> Dict[str, float]:
+        breakdown: Dict[str, float] = {}
+        for layer in self.layers:
+            for component, value in layer.energy_pj.items():
+                breakdown[component] = breakdown.get(component, 0.0) + value
+        return breakdown
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(l.bytes_moved for l in self.layers)
+
+    # -- comparisons --------------------------------------------------------
+    def speedup_over(self, other: "HardwareReport") -> float:
+        if self.total_cycles == 0:
+            return float("inf")
+        return other.total_cycles / self.total_cycles
+
+    def relative_energy(self, other: "HardwareReport") -> float:
+        if other.total_energy_pj == 0:
+            return float("inf")
+        return self.total_energy_pj / other.total_energy_pj
+
+    def relative_memory_accesses(self, other: "HardwareReport") -> float:
+        if other.total_bytes == 0:
+            return float("inf")
+        return self.total_bytes / other.total_bytes
+
+    # -- per-layer views ---------------------------------------------------
+    def cycles_by_layer(self) -> Dict[str, float]:
+        grouped: Dict[str, float] = {}
+        for layer in self.layers:
+            grouped[layer.layer_name] = grouped.get(layer.layer_name, 0.0) + layer.cycles
+        return grouped
+
+    def cycles_by_step(self) -> Dict[int, float]:
+        grouped: Dict[int, float] = {}
+        for layer in self.layers:
+            grouped[layer.step_index] = grouped.get(layer.step_index, 0.0) + layer.cycles
+        return grouped
+
+    def summary(self) -> str:
+        energy_uj = self.total_energy_pj / 1e6
+        return (
+            f"{self.hardware}: {self.total_cycles:,.0f} cycles "
+            f"(compute {self.compute_cycles:,.0f}, stall {self.stall_cycles:,.0f}), "
+            f"{energy_uj:,.2f} uJ, {self.total_bytes:,} bytes"
+        )

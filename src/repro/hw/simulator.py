@@ -1,0 +1,160 @@
+"""Design-point simulator: (hardware model, execution policy) -> report.
+
+A :class:`DesignPoint` pairs a hardware cycle model with the execution-flow
+policy that schedules work on it; :func:`evaluate_design` lowers a rich
+trace under the policy and runs it through the hardware model.  The design
+points of every figure in the paper's evaluation are predefined:
+
+* Fig. 13/14 - :data:`FIG13_DESIGNS` (GPU, ITC, Diffy, Cambricon-D, Ditto,
+  Ditto+).
+* Fig. 15 - :data:`FIG15_DESIGNS` (software techniques cross-applied between
+  Cambricon-D and Ditto).
+* Fig. 16 - :data:`FIG16_DESIGNS` (DS / DB / DB&DS / +attention / Ditto /
+  Ditto+).
+* Fig. 18/19 - ideal / dynamic variants via ``policy='ideal'`` etc.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.defo import DefoReport, run_defo, run_ideal
+from ..core.policy import lower_dense, lower_spatial, lower_temporal
+from ..core.trace import RichTrace, Trace
+from .ablation import DBDS_CONFIG, DB_CONFIG, DS_CONFIG
+from .accelerators import build_accelerator
+from .config import HardwareConfig
+from .report import HardwareReport
+
+__all__ = [
+    "DesignPoint",
+    "evaluate_design",
+    "evaluate_designs",
+    "FIG13_DESIGNS",
+    "FIG15_DESIGNS",
+    "FIG16_DESIGNS",
+    "FIG18_DESIGNS",
+]
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """A (hardware, execution policy) pair to evaluate."""
+
+    name: str
+    hardware: str  # Table III name, 'GPU', or '' when config is given
+    policy: str  # dense | spatial | temporal | defo | defo+ | ideal | ideal+ | dynamic | dynamic+
+    bypass: str = "chained"  # chained | sign_mask | both | none
+    attention_diff: bool = True
+    config: Optional[HardwareConfig] = None
+
+    def build_hardware(self):
+        if self.config is not None:
+            return build_accelerator(self.config.name, self.config)
+        return build_accelerator(self.hardware)
+
+
+def _lower(
+    design: DesignPoint, rich_trace: RichTrace, hardware
+) -> Tuple[Trace, Optional[DefoReport]]:
+    policy = design.policy
+    if policy == "dense":
+        return lower_dense(rich_trace), None
+    if policy == "spatial":
+        return lower_spatial(rich_trace, attention_diff=design.attention_diff), None
+    if policy == "temporal":
+        return (
+            lower_temporal(
+                rich_trace,
+                bypass_style=design.bypass,
+                attention_diff=design.attention_diff,
+            ),
+            None,
+        )
+    if policy in ("defo", "defo+", "dynamic", "dynamic+"):
+        report = run_defo(
+            rich_trace,
+            hardware,
+            plus=policy.endswith("+"),
+            dynamic=policy.startswith("dynamic"),
+            bypass_style=design.bypass,
+            attention_diff=design.attention_diff,
+        )
+        return report.trace, report
+    if policy in ("ideal", "ideal+"):
+        trace = run_ideal(
+            rich_trace,
+            hardware,
+            plus=policy.endswith("+"),
+            bypass_style=design.bypass,
+            attention_diff=design.attention_diff,
+        )
+        return trace, None
+    raise ValueError(f"unknown policy {policy!r}")
+
+
+@dataclass
+class DesignResult:
+    """Hardware report plus the Defo report when the policy used one."""
+
+    design: DesignPoint
+    report: HardwareReport
+    defo: Optional[DefoReport] = None
+
+
+def evaluate_design(design: DesignPoint, rich_trace: RichTrace) -> DesignResult:
+    hardware = design.build_hardware()
+    trace, defo = _lower(design, rich_trace, hardware)
+    report = hardware.run(trace)
+    report.hardware = design.name
+    return DesignResult(design=design, report=report, defo=defo)
+
+
+def evaluate_designs(
+    designs: List[DesignPoint], rich_trace: RichTrace
+) -> Dict[str, DesignResult]:
+    return {d.name: evaluate_design(d, rich_trace) for d in designs}
+
+
+# -- the paper's comparison sets ---------------------------------------------
+
+FIG13_DESIGNS: List[DesignPoint] = [
+    DesignPoint("GPU", "GPU", "dense"),
+    DesignPoint("ITC", "ITC", "dense"),
+    DesignPoint("Diffy", "Diffy", "spatial"),
+    # Fair-comparison Cambricon-D: attention differences + dependency check
+    # integrated (paper Section VI-A), sign-mask dataflow native.
+    DesignPoint("Cambricon-D", "Cambricon-D", "temporal", bypass="both"),
+    DesignPoint("Ditto", "Ditto", "defo"),
+    DesignPoint("Ditto+", "Ditto", "defo+"),
+]
+
+FIG15_DESIGNS: List[DesignPoint] = [
+    DesignPoint("Org. Cam-D", "Cambricon-D", "temporal", bypass="sign_mask", attention_diff=False),
+    DesignPoint("Cam-D & Attn. Diff.", "Cambricon-D", "temporal", bypass="sign_mask"),
+    DesignPoint("Cam-D & Attn. Diff. & Defo", "Cambricon-D", "defo", bypass="sign_mask"),
+    DesignPoint("Cam-D & Attn. Diff. & Defo+", "Cambricon-D", "defo+", bypass="sign_mask"),
+    DesignPoint("Ditto", "Ditto", "defo"),
+    DesignPoint("Ditto & Sign-mask", "Ditto", "defo", bypass="both"),
+    DesignPoint("Ditto+", "Ditto", "defo+"),
+    DesignPoint("Ditto+ & Sign-mask", "Ditto", "defo+", bypass="both"),
+]
+
+FIG16_DESIGNS: List[DesignPoint] = [
+    DesignPoint("ITC", "ITC", "dense"),
+    DesignPoint("DS", "", "temporal", attention_diff=False, config=DS_CONFIG),
+    DesignPoint("DB", "", "temporal", attention_diff=False, config=DB_CONFIG),
+    DesignPoint("DB&DS", "", "temporal", attention_diff=False, config=DBDS_CONFIG),
+    DesignPoint("DB&DS&Attn", "", "temporal", config=DBDS_CONFIG),
+    DesignPoint("Ditto", "Ditto", "defo"),
+    DesignPoint("Ditto+", "Ditto", "defo+"),
+]
+
+FIG18_DESIGNS: List[DesignPoint] = [
+    DesignPoint("ITC", "ITC", "dense"),
+    DesignPoint("Ditto", "Ditto", "defo"),
+    DesignPoint("Ideal-Ditto", "Ditto", "ideal"),
+    DesignPoint("Ditto+", "Ditto", "defo+"),
+    DesignPoint("Ideal-Ditto+", "Ditto", "ideal+"),
+]

@@ -1,0 +1,16 @@
+"""Image-quality metrics: FID / IS / CLIP-score proxies, PSNR/SNR."""
+
+from .features import FeatureExtractor
+from .fid import fid_score, frechet_distance, gaussian_stats
+from .scores import clip_score, inception_score, psnr, snr_db
+
+__all__ = [
+    "FeatureExtractor",
+    "gaussian_stats",
+    "frechet_distance",
+    "fid_score",
+    "inception_score",
+    "clip_score",
+    "psnr",
+    "snr_db",
+]

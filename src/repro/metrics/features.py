@@ -1,0 +1,61 @@
+"""Fixed random-projection feature extractor (Inception-v3 stand-in).
+
+FID and Inception Score are defined over a *fixed* feature space; which
+network provides it matters for comparability with published numbers, not
+for the internal comparison Table II makes (FP32 pipeline vs Ditto pipeline
+on the same generator).  We use a frozen two-stage random convolutional
+feature extractor with average pooling: deterministic, fast, and sensitive
+to both low-level statistics and spatial structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.functional import avg_pool2d, conv2d, silu
+
+__all__ = ["FeatureExtractor"]
+
+
+class FeatureExtractor:
+    """Frozen random CNN mapping image batches to feature vectors."""
+
+    def __init__(
+        self,
+        image_channels: int = 3,
+        feature_dim: int = 64,
+        hidden: int = 32,
+        seed: int = 1234,
+    ) -> None:
+        rng = np.random.default_rng(seed)
+        self.image_channels = image_channels
+        self.feature_dim = feature_dim
+        k1_fan = image_channels * 9
+        self.w1 = rng.normal(0.0, 1.0 / np.sqrt(k1_fan), (hidden, image_channels, 3, 3))
+        k2_fan = hidden * 9
+        self.w2 = rng.normal(0.0, 1.0 / np.sqrt(k2_fan), (hidden, hidden, 3, 3))
+        self.proj = rng.normal(0.0, 1.0 / np.sqrt(2 * hidden), (feature_dim, 2 * hidden))
+        # Fixed "classifier" head for the Inception-Score proxy.
+        self.head = rng.normal(0.0, 1.0 / np.sqrt(feature_dim), (10, feature_dim))
+
+    def features(self, images: np.ndarray) -> np.ndarray:
+        """``(N, C, H, W)`` images in [-1, 1] -> ``(N, feature_dim)``."""
+        if images.ndim != 4:
+            raise ValueError(f"expected (N, C, H, W) images, got {images.shape}")
+        if images.shape[1] != self.image_channels:
+            raise ValueError(
+                f"expected {self.image_channels} channels, got {images.shape[1]}"
+            )
+        h = silu(conv2d(images, self.w1, padding=1))
+        if h.shape[2] % 2 == 0 and h.shape[2] >= 4:
+            h = avg_pool2d(h, 2)
+        h = silu(conv2d(h, self.w2, padding=1))
+        mean_pool = h.mean(axis=(2, 3))
+        # Mean + dispersion pooling keeps second-order information.
+        std_pool = h.std(axis=(2, 3))
+        pooled = np.concatenate([mean_pool, std_pool], axis=1)
+        return pooled @ self.proj.T
+
+    def logits(self, images: np.ndarray) -> np.ndarray:
+        """Class logits of the proxy classifier head (for IS)."""
+        return self.features(images) @ self.head.T

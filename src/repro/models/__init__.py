@@ -1,0 +1,43 @@
+"""Denoising models for the Table I benchmark suite."""
+
+from .blocks import AttentionBlock, DiTBlock, ResNetBlock, TransformerBlock
+from .dit import DiT
+from .latte import Latte
+from .text_encoder import ToyTextEncoder
+from .unet import SpatialTransformer, UNet
+from .vae import ToyVAE
+from .zoo import (
+    CONTEXT_DIM,
+    CONTEXT_TOKENS,
+    NUM_CLASSES,
+    build_conditional_unet,
+    build_ddpm_unet,
+    build_dit,
+    build_latent_unet,
+    build_latte,
+    build_text_encoder,
+    build_vae,
+)
+
+__all__ = [
+    "ResNetBlock",
+    "AttentionBlock",
+    "TransformerBlock",
+    "DiTBlock",
+    "UNet",
+    "SpatialTransformer",
+    "DiT",
+    "Latte",
+    "ToyVAE",
+    "ToyTextEncoder",
+    "build_ddpm_unet",
+    "build_latent_unet",
+    "build_conditional_unet",
+    "build_dit",
+    "build_latte",
+    "build_vae",
+    "build_text_encoder",
+    "NUM_CLASSES",
+    "CONTEXT_DIM",
+    "CONTEXT_TOKENS",
+]

@@ -1,0 +1,176 @@
+"""Building blocks of the Table I denoising models (paper Fig. 2).
+
+Four block families appear across the seven benchmarks:
+
+* :class:`ResNetBlock` - GN / SiLU / Conv with a timestep-embedding branch
+  (DDPM and all LDM UNets).
+* :class:`AttentionBlock` - GN + self attention over spatial tokens (DDPM,
+  unconditional LDMs).
+* :class:`TransformerBlock` - LN / self-attn / cross-attn / GeLU-MLP, the
+  "Conditional Latent Diffusion Transformer Block" used by IMG and SDM; the
+  cross-attention context is constant across time steps, which Ditto exploits.
+* :class:`DiTBlock` - adaLN-modulated transformer block (DiT, Latte) whose
+  scale/shift/gate parameters come from a SiLU+FC over the conditioning
+  embedding.
+
+Each block family deliberately mixes *different* non-linear functions (SiLU +
+GroupNorm vs GeLU + LayerNorm + Softmax) because Defo's advantage over
+Cambricon-D's sign-mask dataflow (which only handles SiLU/GN) depends on this
+diversity - see paper Sections IV-B and VI-B.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import (
+    Attention,
+    Conv2d,
+    GELU,
+    GroupNorm,
+    Identity,
+    LayerNorm,
+    Linear,
+    Module,
+    SiLU,
+)
+
+__all__ = ["ResNetBlock", "AttentionBlock", "TransformerBlock", "DiTBlock"]
+
+
+def _groups_for(channels: int) -> int:
+    """Largest group count <= 8 that divides ``channels``."""
+    for groups in (8, 4, 2, 1):
+        if channels % groups == 0:
+            return groups
+    return 1
+
+
+class ResNetBlock(Module):
+    """DDPM/LDM residual block with timestep conditioning."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        emb_dim: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.norm1 = GroupNorm(_groups_for(in_channels), in_channels)
+        self.act1 = SiLU()
+        self.conv1 = Conv2d(in_channels, out_channels, 3, padding=1, rng=rng)
+        self.emb_act = SiLU()
+        self.emb_proj = Linear(emb_dim, out_channels, rng=rng)
+        self.norm2 = GroupNorm(_groups_for(out_channels), out_channels)
+        self.act2 = SiLU()
+        self.conv2 = Conv2d(out_channels, out_channels, 3, padding=1, rng=rng)
+        if in_channels != out_channels:
+            self.skip = Conv2d(in_channels, out_channels, 1, rng=rng)
+        else:
+            self.skip = Identity()
+
+    def forward(self, x: np.ndarray, emb: np.ndarray) -> np.ndarray:
+        h = self.conv1(self.act1(self.norm1(x)))
+        h = h + self.emb_proj(self.emb_act(emb))[:, :, None, None]
+        h = self.conv2(self.act2(self.norm2(h)))
+        return h + self.skip(x)
+
+
+class AttentionBlock(Module):
+    """GroupNorm + self attention over flattened spatial positions."""
+
+    def __init__(
+        self,
+        channels: int,
+        num_heads: int = 2,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.channels = channels
+        self.norm = GroupNorm(_groups_for(channels), channels)
+        self.attn = Attention(channels, num_heads=num_heads, rng=rng)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        tokens = self.norm(x).reshape(n, c, h * w).transpose(0, 2, 1)
+        out = self.attn(tokens)
+        return x + out.transpose(0, 2, 1).reshape(n, c, h, w)
+
+
+class TransformerBlock(Module):
+    """Conditional latent-diffusion transformer block (Fig. 2, 3rd column).
+
+    ``context=None`` downgrades the cross-attention to a second
+    self-attention, which lets the same block serve unconditional models.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int = 2,
+        context_dim: Optional[int] = None,
+        mlp_ratio: int = 2,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.dim = dim
+        self.norm1 = LayerNorm(dim)
+        self.attn1 = Attention(dim, num_heads=num_heads, rng=rng)
+        self.norm2 = LayerNorm(dim)
+        self.attn2 = Attention(dim, num_heads=num_heads, context_dim=context_dim, rng=rng)
+        self.norm3 = LayerNorm(dim)
+        self.ff1 = Linear(dim, dim * mlp_ratio, rng=rng)
+        self.ff_act = GELU()
+        self.ff2 = Linear(dim * mlp_ratio, dim, rng=rng)
+
+    def forward(self, x: np.ndarray, context: Optional[np.ndarray] = None) -> np.ndarray:
+        x = x + self.attn1(self.norm1(x))
+        x = x + self.attn2(self.norm2(x), context=context)
+        return x + self.ff2(self.ff_act(self.ff1(self.norm3(x))))
+
+
+class DiTBlock(Module):
+    """adaLN-Zero transformer block of DiT / Latte (Fig. 2, right column)."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int = 2,
+        mlp_ratio: int = 2,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.dim = dim
+        self.ada_act = SiLU()
+        # Produces shift/scale/gate for both the attention and MLP branches.
+        self.ada_proj = Linear(dim, 6 * dim, rng=rng)
+        self.norm1 = LayerNorm(dim, affine=False)
+        self.attn = Attention(dim, num_heads=num_heads, rng=rng)
+        self.norm2 = LayerNorm(dim, affine=False)
+        self.mlp1 = Linear(dim, dim * mlp_ratio, rng=rng)
+        self.mlp_act = GELU()
+        self.mlp2 = Linear(dim * mlp_ratio, dim, rng=rng)
+
+    @staticmethod
+    def _modulate(x: np.ndarray, shift: np.ndarray, scale: np.ndarray) -> np.ndarray:
+        return x * (1.0 + scale[:, None, :]) + shift[:, None, :]
+
+    def forward(self, x: np.ndarray, cond: np.ndarray) -> np.ndarray:
+        params = self.ada_proj(self.ada_act(cond))
+        (
+            shift_msa,
+            scale_msa,
+            gate_msa,
+            shift_mlp,
+            scale_mlp,
+            gate_mlp,
+        ) = np.split(params, 6, axis=-1)
+        h = self._modulate(self.norm1(x), shift_msa, scale_msa)
+        x = x + gate_msa[:, None, :] * self.attn(h)
+        h = self._modulate(self.norm2(x), shift_mlp, scale_mlp)
+        return x + gate_mlp[:, None, :] * self.mlp2(self.mlp_act(self.mlp1(h)))

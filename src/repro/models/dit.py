@@ -1,0 +1,88 @@
+"""Diffusion Transformer (DiT) denoiser - the DiT-XL/2 benchmark, scaled.
+
+A faithful miniature of Peebles & Xie's DiT: patchify -> fixed sin/cos
+positional embedding -> stack of adaLN-Zero :class:`DiTBlock`s -> adaLN final
+layer -> unpatchify.  Unlike the UNets there are *no* ResNet blocks and no
+SiLU/GroupNorm in the token path - the non-linearities are LayerNorm, GeLU
+and Softmax, which is precisely why Cambricon-D's sign-mask dataflow cannot
+remove the temporal-difference memory overhead here while Defo can
+(paper Sections IV-B, VI-B).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import (
+    LabelEmbedding,
+    LayerNorm,
+    Linear,
+    Module,
+    ModuleList,
+    PatchEmbed,
+    SiLU,
+    TimestepEmbedding,
+)
+from ..nn.functional import sinusoidal_embedding
+from .blocks import DiTBlock
+
+__all__ = ["DiT"]
+
+
+def _positional_grid(num_tokens: int, dim: int) -> np.ndarray:
+    """Fixed sinusoidal position table for a flattened patch grid."""
+    return sinusoidal_embedding(np.arange(num_tokens), dim)
+
+
+class DiT(Module):
+    """``forward(x, t, y) -> eps`` for latent inputs ``(N, C, H, W)``."""
+
+    def __init__(
+        self,
+        in_channels: int = 4,
+        input_size: int = 8,
+        patch: int = 2,
+        dim: int = 32,
+        depth: int = 2,
+        num_heads: int = 2,
+        num_classes: int = 10,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if input_size % patch:
+            raise ValueError(f"input_size {input_size} not divisible by patch {patch}")
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.input_size = input_size
+        self.patch = patch
+        self.dim = dim
+        self.grid = input_size // patch
+        self.num_tokens = self.grid * self.grid
+        self.patch_embed = PatchEmbed(in_channels, dim, patch, rng=rng)
+        self.pos_embed = _positional_grid(self.num_tokens, dim)
+        self.time_embed = TimestepEmbedding(dim, dim, rng=rng)
+        self.label_embed = LabelEmbedding(num_classes, dim, rng=rng)
+        self.blocks = ModuleList(
+            DiTBlock(dim, num_heads=num_heads, rng=rng) for _ in range(depth)
+        )
+        self.final_norm = LayerNorm(dim, affine=False)
+        self.final_act = SiLU()
+        self.final_ada = Linear(dim, 2 * dim, rng=rng)
+        self.final_proj = Linear(dim, patch * patch * in_channels, rng=rng)
+
+    def unpatchify(self, tokens: np.ndarray) -> np.ndarray:
+        n = tokens.shape[0]
+        p, g, c = self.patch, self.grid, self.in_channels
+        x = tokens.reshape(n, g, g, p, p, c)
+        return x.transpose(0, 5, 1, 3, 2, 4).reshape(n, c, g * p, g * p)
+
+    def forward(self, x: np.ndarray, t: np.ndarray, y: np.ndarray) -> np.ndarray:
+        tokens = self.patch_embed(x) + self.pos_embed[None, :, :]
+        cond = self.time_embed(t) + self.label_embed(y)
+        for block in self.blocks:
+            tokens = block(tokens, cond)
+        shift, scale = np.split(self.final_ada(self.final_act(cond)), 2, axis=-1)
+        tokens = self.final_norm(tokens) * (1.0 + scale[:, None, :]) + shift[:, None, :]
+        return self.unpatchify(self.final_proj(tokens))

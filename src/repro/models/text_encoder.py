@@ -1,0 +1,58 @@
+"""Toy text encoder providing cross-attention context for SDM.
+
+Stable Diffusion conditions on frozen CLIP text embeddings; only two of their
+properties matter to Ditto: (1) the context is a ``(tokens, dim)`` sequence
+consumed by cross attention, and (2) it is *constant across time steps*, so
+the projected K'/V' behave like weights (paper Section IV-A).  A hash-based
+tokenizer plus one transformer encoder block reproduces both properties.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..nn import LayerNorm, Module, Parameter
+from ..nn.functional import sinusoidal_embedding
+from .blocks import TransformerBlock
+
+__all__ = ["ToyTextEncoder"]
+
+
+class ToyTextEncoder(Module):
+    """Deterministic prompt -> ``(batch, max_tokens, dim)`` context encoder."""
+
+    def __init__(
+        self,
+        dim: int = 16,
+        vocab_size: int = 256,
+        max_tokens: int = 8,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.dim = dim
+        self.vocab_size = vocab_size
+        self.max_tokens = max_tokens
+        self.table = Parameter(rng.normal(0.0, 0.5, size=(vocab_size, dim)))
+        self.pos = sinusoidal_embedding(np.arange(max_tokens), dim)
+        self.block = TransformerBlock(dim, num_heads=2, rng=rng)
+        self.final_norm = LayerNorm(dim)
+
+    def tokenize(self, prompt: str) -> np.ndarray:
+        """Stable hash-based tokenization, padded/truncated to max_tokens."""
+        words = prompt.lower().split()
+        ids = [(sum(ord(ch) * (i + 1) for i, ch in enumerate(w)) % (self.vocab_size - 1)) + 1
+               for w in words]
+        ids = ids[: self.max_tokens]
+        ids += [0] * (self.max_tokens - len(ids))
+        return np.asarray(ids, dtype=np.int64)
+
+    def encode(self, prompts: Sequence[str]) -> np.ndarray:
+        token_ids = np.stack([self.tokenize(p) for p in prompts])
+        emb = self.table.data[token_ids] + self.pos[None, :, :]
+        return self.final_norm(self.block(emb))
+
+    def forward(self, prompts: Sequence[str]) -> np.ndarray:
+        return self.encode(prompts)

@@ -1,0 +1,216 @@
+"""Configurable UNet denoiser covering DDPM, BED/CHUR, IMG and SDM.
+
+One parameterized implementation covers the four UNet-family benchmarks of
+Table I:
+
+* ``block_type='attention'`` + pixel input -> DDPM (ResNet + Attention
+  blocks, Fig. 2 left).
+* ``block_type='attention'`` + latent input -> BED / CHUR (unconditional
+  latent diffusion).
+* ``block_type='transformer'`` + ``context_dim`` -> IMG / SDM (conditional
+  latent diffusion with cross attention; the Fig. 2 third-column block).
+
+Layer names follow the paper's figures: the stem conv is ``conv_in`` and the
+decoder skip-merge convs appear as ``up.<level>.<block>.skip`` in the module
+tree, matching the ``conv-in`` / ``up.0.0.skip`` layers analysed in Fig. 3/4.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..nn import (
+    Conv2d,
+    Downsample,
+    GroupNorm,
+    LabelEmbedding,
+    Module,
+    ModuleList,
+    SiLU,
+    TimestepEmbedding,
+    Upsample,
+)
+from .blocks import AttentionBlock, ResNetBlock, TransformerBlock, _groups_for
+
+__all__ = ["SpatialTransformer", "UNet"]
+
+
+class SpatialTransformer(Module):
+    """LDM-style wrapper: GN + 1x1 in/out projections around token blocks."""
+
+    def __init__(
+        self,
+        channels: int,
+        num_heads: int = 2,
+        depth: int = 1,
+        context_dim: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.channels = channels
+        self.norm = GroupNorm(_groups_for(channels), channels)
+        self.proj_in = Conv2d(channels, channels, 1, rng=rng)
+        self.blocks = ModuleList(
+            TransformerBlock(channels, num_heads=num_heads, context_dim=context_dim, rng=rng)
+            for _ in range(depth)
+        )
+        self.proj_out = Conv2d(channels, channels, 1, rng=rng)
+
+    def forward(self, x: np.ndarray, context: Optional[np.ndarray] = None) -> np.ndarray:
+        n, c, h, w = x.shape
+        tokens = self.proj_in(self.norm(x)).reshape(n, c, h * w).transpose(0, 2, 1)
+        for block in self.blocks:
+            tokens = block(tokens, context=context)
+        out = tokens.transpose(0, 2, 1).reshape(n, c, h, w)
+        return x + self.proj_out(out)
+
+
+class _DownLevel(Module):
+    def __init__(self) -> None:
+        super().__init__()
+        self.res = ModuleList()
+        self.attn = ModuleList()
+        self.downsample = None
+
+
+class _UpLevel(Module):
+    def __init__(self) -> None:
+        super().__init__()
+        self.res = ModuleList()
+        self.attn = ModuleList()
+        self.upsample = None
+
+
+class UNet(Module):
+    """Denoising UNet; ``forward(x, t, context=None, y=None) -> eps``."""
+
+    def __init__(
+        self,
+        in_channels: int = 3,
+        base_channels: int = 16,
+        channel_mults: Sequence[int] = (1, 2),
+        num_res_blocks: int = 1,
+        attention_levels: Sequence[int] = (1,),
+        block_type: str = "attention",
+        context_dim: Optional[int] = None,
+        num_classes: Optional[int] = None,
+        num_heads: int = 2,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if block_type not in ("attention", "transformer", "none"):
+            raise ValueError(f"unknown block_type {block_type!r}")
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.base_channels = base_channels
+        self.block_type = block_type
+        self.context_dim = context_dim
+        emb_dim = base_channels * 2
+        self.time_embed = TimestepEmbedding(base_channels, emb_dim, rng=rng)
+        self.label_embed = (
+            LabelEmbedding(num_classes, emb_dim, rng=rng) if num_classes else None
+        )
+        self.conv_in = Conv2d(in_channels, base_channels, 3, padding=1, rng=rng)
+
+        def make_attn(channels: int) -> Module:
+            if block_type == "transformer":
+                return SpatialTransformer(
+                    channels, num_heads=num_heads, context_dim=context_dim, rng=rng
+                )
+            return AttentionBlock(channels, num_heads=num_heads, rng=rng)
+
+        attention_levels = set(attention_levels)
+        channels = [base_channels * m for m in channel_mults]
+
+        # -- encoder --------------------------------------------------------
+        self.down = ModuleList()
+        skip_channels = [base_channels]
+        current = base_channels
+        for level, out_ch in enumerate(channels):
+            stage = _DownLevel()
+            for _ in range(num_res_blocks):
+                stage.res.append(ResNetBlock(current, out_ch, emb_dim, rng=rng))
+                current = out_ch
+                if level in attention_levels and block_type != "none":
+                    stage.attn.append(make_attn(current))
+                skip_channels.append(current)
+            if level != len(channels) - 1:
+                stage.downsample = Downsample(current, rng=rng)
+                skip_channels.append(current)
+            self.down.append(stage)
+
+        # -- bottleneck -------------------------------------------------------
+        self.mid_res1 = ResNetBlock(current, current, emb_dim, rng=rng)
+        self.mid_attn = make_attn(current) if block_type != "none" else None
+        self.mid_res2 = ResNetBlock(current, current, emb_dim, rng=rng)
+
+        # -- decoder ----------------------------------------------------------
+        self.up = ModuleList()
+        for level in reversed(range(len(channels))):
+            stage = _UpLevel()
+            out_ch = channels[level]
+            for _ in range(num_res_blocks + 1):
+                skip = skip_channels.pop()
+                stage.res.append(ResNetBlock(current + skip, out_ch, emb_dim, rng=rng))
+                current = out_ch
+                if level in attention_levels and block_type != "none":
+                    stage.attn.append(make_attn(current))
+            if level != 0:
+                stage.upsample = Upsample(current, rng=rng)
+            self.up.append(stage)
+
+        self.out_norm = GroupNorm(_groups_for(current), current)
+        self.out_act = SiLU()
+        self.conv_out = Conv2d(current, in_channels, 3, padding=1, rng=rng)
+
+    # ------------------------------------------------------------------
+    def _embedding(self, t: np.ndarray, y: Optional[np.ndarray]) -> np.ndarray:
+        emb = self.time_embed(t)
+        if self.label_embed is not None:
+            if y is None:
+                raise ValueError("class-conditional UNet requires labels y")
+            emb = emb + self.label_embed(y)
+        return emb
+
+    def forward(
+        self,
+        x: np.ndarray,
+        t: np.ndarray,
+        context: Optional[np.ndarray] = None,
+        y: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        emb = self._embedding(t, y)
+        h = self.conv_in(x)
+        skips = [h]
+        for stage in self.down:
+            attn_iter = iter(stage.attn)
+            for res in stage.res:
+                h = res(h, emb)
+                if len(stage.attn):
+                    h = self._apply_attn(next(attn_iter), h, context)
+                skips.append(h)
+            if stage.downsample is not None:
+                h = stage.downsample(h)
+                skips.append(h)
+        h = self.mid_res1(h, emb)
+        if self.mid_attn is not None:
+            h = self._apply_attn(self.mid_attn, h, context)
+        h = self.mid_res2(h, emb)
+        for stage in self.up:
+            attn_iter = iter(stage.attn)
+            for res in stage.res:
+                h = res(np.concatenate([h, skips.pop()], axis=1), emb)
+                if len(stage.attn):
+                    h = self._apply_attn(next(attn_iter), h, context)
+            if stage.upsample is not None:
+                h = stage.upsample(h)
+        return self.conv_out(self.out_act(self.out_norm(h)))
+
+    def _apply_attn(
+        self, block: Module, h: np.ndarray, context: Optional[np.ndarray]
+    ) -> np.ndarray:
+        if isinstance(block, SpatialTransformer):
+            return block(h, context=context)
+        return block(h)

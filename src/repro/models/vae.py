@@ -1,0 +1,55 @@
+"""Toy VAE for latent-space benchmarks (BED, CHUR, IMG, SDM, DiT, Latte).
+
+The paper's latent-diffusion benchmarks denoise in a VAE latent space and
+decode the final latent to pixels only once, so the autoencoder contributes
+negligibly to the accelerator study.  We therefore provide a small
+convolutional encoder/decoder pair: it gives the metrics pipeline
+(Table II proxies) real pixel-space outputs and gives the examples an
+end-to-end text-to-image-like flow, without pretending to be a trained KL-VAE.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import Conv2d, GroupNorm, Module, SiLU, Upsample
+
+__all__ = ["ToyVAE"]
+
+
+class ToyVAE(Module):
+    """4x-downsampling convolutional autoencoder."""
+
+    def __init__(
+        self,
+        image_channels: int = 3,
+        latent_channels: int = 4,
+        hidden: int = 16,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.image_channels = image_channels
+        self.latent_channels = latent_channels
+        self.enc1 = Conv2d(image_channels, hidden, 3, stride=2, padding=1, rng=rng)
+        self.enc_act = SiLU()
+        self.enc2 = Conv2d(hidden, latent_channels, 3, stride=2, padding=1, rng=rng)
+        self.dec1 = Conv2d(latent_channels, hidden, 3, padding=1, rng=rng)
+        self.dec_norm = GroupNorm(4, hidden)
+        self.dec_act = SiLU()
+        self.up1 = Upsample(hidden, rng=rng)
+        self.up2 = Upsample(hidden, rng=rng)
+        self.dec_out = Conv2d(hidden, image_channels, 3, padding=1, rng=rng)
+
+    def encode(self, images: np.ndarray) -> np.ndarray:
+        return self.enc2(self.enc_act(self.enc1(images)))
+
+    def decode(self, latents: np.ndarray) -> np.ndarray:
+        h = self.dec_act(self.dec_norm(self.dec1(latents)))
+        h = self.up2(self.up1(h))
+        return np.tanh(self.dec_out(h))
+
+    def forward(self, images: np.ndarray) -> np.ndarray:
+        return self.decode(self.encode(images))

@@ -1,0 +1,121 @@
+"""Model builders for the seven Table I benchmarks (scaled-down).
+
+Each builder returns a freshly-initialized denoising model whose *structure*
+matches the corresponding paper benchmark: same block families, same
+non-linear function mix, same conditioning mechanism.  Channel counts, depths
+and resolutions are scaled so the whole suite runs on a laptop in pure numpy;
+see DESIGN.md for why random weights preserve the temporal-similarity
+behaviour the paper measures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dit import DiT
+from .latte import Latte
+from .text_encoder import ToyTextEncoder
+from .unet import UNet
+from .vae import ToyVAE
+
+__all__ = [
+    "build_ddpm_unet",
+    "build_latent_unet",
+    "build_conditional_unet",
+    "build_dit",
+    "build_latte",
+    "build_vae",
+    "build_text_encoder",
+    "NUM_CLASSES",
+    "CONTEXT_DIM",
+    "CONTEXT_TOKENS",
+]
+
+NUM_CLASSES = 10
+CONTEXT_DIM = 16
+CONTEXT_TOKENS = 8
+
+
+def _rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def build_ddpm_unet(seed: int = 1) -> UNet:
+    """DDPM: pixel-space UNet with ResNet + Attention blocks (CIFAR-scale)."""
+    return UNet(
+        in_channels=3,
+        base_channels=16,
+        channel_mults=(1, 2),
+        num_res_blocks=1,
+        attention_levels=(1,),
+        block_type="attention",
+        rng=_rng(seed),
+    )
+
+
+def build_latent_unet(seed: int = 2, base_channels: int = 16) -> UNet:
+    """BED / CHUR: unconditional latent-space UNet (LSUN-scale)."""
+    return UNet(
+        in_channels=4,
+        base_channels=base_channels,
+        channel_mults=(1, 2),
+        num_res_blocks=1,
+        attention_levels=(1,),
+        block_type="attention",
+        rng=_rng(seed),
+    )
+
+
+def build_conditional_unet(seed: int = 3) -> UNet:
+    """IMG / SDM: latent UNet with conditional transformer blocks.
+
+    Cross attention consumes a constant ``context`` sequence (class embedding
+    for IMG, text embedding for SDM), matching Fig. 2's conditional block.
+    """
+    return UNet(
+        in_channels=4,
+        base_channels=16,
+        channel_mults=(1, 2),
+        num_res_blocks=1,
+        attention_levels=(0, 1),
+        block_type="transformer",
+        context_dim=CONTEXT_DIM,
+        rng=_rng(seed),
+    )
+
+
+def build_dit(seed: int = 4) -> DiT:
+    """DiT-XL/2 analogue: pure transformer denoiser with adaLN blocks."""
+    return DiT(
+        in_channels=4,
+        input_size=16,
+        patch=2,
+        dim=256,
+        depth=3,
+        num_heads=4,
+        num_classes=NUM_CLASSES,
+        rng=_rng(seed),
+    )
+
+
+def build_latte(seed: int = 5) -> Latte:
+    """Latte-XL/2 analogue: factorized spatio-temporal video transformer."""
+    return Latte(
+        in_channels=4,
+        input_size=16,
+        num_frames=4,
+        patch=2,
+        dim=192,
+        depth=2,
+        num_heads=4,
+        num_classes=NUM_CLASSES,
+        rng=_rng(seed),
+    )
+
+
+def build_vae(seed: int = 6) -> ToyVAE:
+    return ToyVAE(image_channels=3, latent_channels=4, hidden=16, rng=_rng(seed))
+
+
+def build_text_encoder(seed: int = 7) -> ToyTextEncoder:
+    return ToyTextEncoder(dim=CONTEXT_DIM, max_tokens=CONTEXT_TOKENS, rng=_rng(seed))

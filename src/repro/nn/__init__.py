@@ -1,0 +1,45 @@
+"""Pure-numpy neural-network substrate for the Ditto reproduction."""
+
+from . import functional, io
+from .attention import Attention
+from .embeddings import LabelEmbedding, PatchEmbed, TimestepEmbedding
+from .layers import (
+    AvgPool2d,
+    Conv2d,
+    Downsample,
+    GELU,
+    GroupNorm,
+    Identity,
+    LayerNorm,
+    Linear,
+    ModuleList,
+    Sequential,
+    SiLU,
+    Softmax,
+    Upsample,
+)
+from .module import Module, Parameter
+
+__all__ = [
+    "functional",
+    "io",
+    "Module",
+    "Parameter",
+    "Linear",
+    "Conv2d",
+    "GroupNorm",
+    "LayerNorm",
+    "SiLU",
+    "GELU",
+    "Softmax",
+    "Identity",
+    "Sequential",
+    "ModuleList",
+    "AvgPool2d",
+    "Upsample",
+    "Downsample",
+    "Attention",
+    "TimestepEmbedding",
+    "PatchEmbed",
+    "LabelEmbedding",
+]

@@ -1,0 +1,88 @@
+"""Multi-head (self / cross) attention over token sequences.
+
+The attention layer matters to Ditto for two reasons (Section IV-A):
+
+* ``Q @ K^T`` and ``P @ V`` multiply two matrices that *both* change across
+  time steps, so naive difference processing would need three sub-operations;
+  the algebraic identity ``Q_t K_t = Q_{t+1} K_{t+1} + Q_t dK + dQ K_{t+1}``
+  reduces this to two.
+* in cross attention the context (text embedding) is constant across time
+  steps, so ``K'``/``V'`` behave exactly like weights and the ordinary linear
+  difference path applies.
+
+This float module exposes its internals (projections, head split, score
+matmuls) through small methods so that :class:`repro.quant.qlayers.QAttention`
+can override only the arithmetic that quantization/difference processing
+changes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import functional as F
+from .layers import Linear
+from .module import Module
+
+__all__ = ["Attention"]
+
+
+class Attention(Module):
+    """Multi-head attention over ``(batch, tokens, dim)`` activations."""
+
+    is_attention = True
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int = 2,
+        context_dim: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if dim % num_heads:
+            raise ValueError(f"dim {dim} not divisible by heads {num_heads}")
+        rng = rng or np.random.default_rng(0)
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.context_dim = context_dim
+        self.is_cross = context_dim is not None
+        kv_dim = context_dim if context_dim is not None else dim
+        self.to_q = Linear(dim, dim, bias=False, rng=rng)
+        self.to_k = Linear(kv_dim, dim, bias=False, rng=rng)
+        self.to_v = Linear(kv_dim, dim, bias=False, rng=rng)
+        self.to_out = Linear(dim, dim, rng=rng)
+
+    # -- head plumbing ------------------------------------------------------
+    def split_heads(self, x: np.ndarray) -> np.ndarray:
+        """``(B, T, dim)`` -> ``(B, heads, T, head_dim)``."""
+        b, t, _ = x.shape
+        return x.reshape(b, t, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def merge_heads(self, x: np.ndarray) -> np.ndarray:
+        """``(B, heads, T, head_dim)`` -> ``(B, T, dim)``."""
+        b, h, t, d = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(b, t, h * d)
+
+    # -- arithmetic (overridden by the quantized subclass) -------------------
+    def scores(self, q: np.ndarray, k: np.ndarray) -> np.ndarray:
+        return (q @ k.transpose(0, 1, 3, 2)) / np.sqrt(self.head_dim)
+
+    def attend(self, probs: np.ndarray, v: np.ndarray) -> np.ndarray:
+        return probs @ v
+
+    def forward(self, x: np.ndarray, context: Optional[np.ndarray] = None) -> np.ndarray:
+        source = context if context is not None else x
+        q = self.split_heads(self.to_q(x))
+        k = self.split_heads(self.to_k(source))
+        v = self.split_heads(self.to_v(source))
+        probs = F.softmax(self.scores(q, k), axis=-1)
+        out = self.merge_heads(self.attend(probs, v))
+        return self.to_out(out)
+
+    def extra_repr(self) -> str:
+        kind = "cross" if self.is_cross else "self"
+        return f"dim={self.dim}, heads={self.num_heads}, kind={kind}"

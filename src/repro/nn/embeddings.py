@@ -1,0 +1,80 @@
+"""Embedding modules shared by the denoising models.
+
+Every denoising network in Table I conditions on the diffusion time step via
+a sinusoidal embedding pushed through a small MLP; DiT/Latte additionally use
+patch embeddings and class-label embeddings, and SDM-style models use a toy
+text encoder (:mod:`repro.models.text_encoder`) whose output flows into cross
+attention.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import functional as F
+from .layers import Conv2d, Linear, SiLU
+from .module import Module, Parameter
+
+__all__ = ["TimestepEmbedding", "PatchEmbed", "LabelEmbedding"]
+
+
+class TimestepEmbedding(Module):
+    """Sinusoidal embedding followed by a 2-layer SiLU MLP."""
+
+    def __init__(
+        self, dim: int, hidden: int, rng: Optional[np.random.Generator] = None
+    ) -> None:
+        super().__init__()
+        self.dim = dim
+        self.fc1 = Linear(dim, hidden, rng=rng)
+        self.act = SiLU()
+        self.fc2 = Linear(hidden, hidden, rng=rng)
+
+    def forward(self, timesteps: np.ndarray) -> np.ndarray:
+        emb = F.sinusoidal_embedding(timesteps, self.dim)
+        return self.fc2(self.act(self.fc1(emb)))
+
+
+class PatchEmbed(Module):
+    """Non-overlapping patchification conv used by DiT / Latte.
+
+    Maps ``(N, C, H, W)`` to ``(N, (H/p)*(W/p), dim)`` token sequences.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        dim: int,
+        patch: int = 2,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.patch = patch
+        self.proj = Conv2d(in_channels, dim, patch, stride=patch, rng=rng)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        feat = self.proj(x)
+        n, c, h, w = feat.shape
+        return feat.reshape(n, c, h * w).transpose(0, 2, 1)
+
+
+class LabelEmbedding(Module):
+    """Class-label lookup table (ImageNet / UCF-101 conditioning)."""
+
+    def __init__(
+        self, num_classes: int, dim: int, rng: Optional[np.random.Generator] = None
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.num_classes = num_classes
+        self.table = Parameter(rng.normal(0.0, 0.02, size=(num_classes, dim)))
+
+    def forward(self, labels: np.ndarray) -> np.ndarray:
+        labels = np.atleast_1d(np.asarray(labels, dtype=np.int64))
+        if labels.min() < 0 or labels.max() >= self.num_classes:
+            raise ValueError(
+                f"labels must be in [0, {self.num_classes}), got {labels}"
+            )
+        return self.table.data[labels]

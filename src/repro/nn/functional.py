@@ -1,0 +1,179 @@
+"""Stateless numpy implementations of the operations used by the models.
+
+These are shared by both the float modules in :mod:`repro.nn` and the
+quantized wrappers in :mod:`repro.quant.qlayers`; keeping the math here in a
+single place guarantees that the Ditto difference-processed path and the
+dense path call literally the same kernels, which is what makes the
+bit-exactness property tests in ``tests/test_exactness.py`` meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "silu",
+    "gelu",
+    "softmax",
+    "group_norm",
+    "layer_norm",
+    "im2col",
+    "conv2d",
+    "conv2d_from_cols",
+    "linear",
+    "avg_pool2d",
+    "upsample_nearest",
+    "sinusoidal_embedding",
+]
+
+
+def silu(x: np.ndarray) -> np.ndarray:
+    """SiLU / swish: ``x * sigmoid(x)`` computed stably for large ``|x|``."""
+    return x / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """GELU with the tanh approximation used by DiT-style transformers."""
+    inner = np.sqrt(2.0 / np.pi) * (x + 0.044715 * x ** 3)
+    return 0.5 * x * (1.0 + np.tanh(inner))
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def group_norm(
+    x: np.ndarray,
+    num_groups: int,
+    weight: Optional[np.ndarray] = None,
+    bias: Optional[np.ndarray] = None,
+    eps: float = 1e-5,
+) -> np.ndarray:
+    """GroupNorm over ``(N, C, H, W)`` activations."""
+    n, c, h, w = x.shape
+    if c % num_groups:
+        raise ValueError(f"channels {c} not divisible by groups {num_groups}")
+    grouped = x.reshape(n, num_groups, c // num_groups, h, w)
+    mean = grouped.mean(axis=(2, 3, 4), keepdims=True)
+    var = grouped.var(axis=(2, 3, 4), keepdims=True)
+    normed = ((grouped - mean) / np.sqrt(var + eps)).reshape(n, c, h, w)
+    if weight is not None:
+        normed = normed * weight.reshape(1, c, 1, 1)
+    if bias is not None:
+        normed = normed + bias.reshape(1, c, 1, 1)
+    return normed
+
+
+def layer_norm(
+    x: np.ndarray,
+    weight: Optional[np.ndarray] = None,
+    bias: Optional[np.ndarray] = None,
+    eps: float = 1e-5,
+) -> np.ndarray:
+    """LayerNorm over the trailing dimension."""
+    mean = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    normed = (x - mean) / np.sqrt(var + eps)
+    if weight is not None:
+        normed = normed * weight
+    if bias is not None:
+        normed = normed + bias
+    return normed
+
+
+def im2col(
+    x: np.ndarray, kernel: int, stride: int = 1, padding: int = 0
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Unfold ``(N, C, H, W)`` into ``(N, out_h*out_w, C*k*k)`` patch rows.
+
+    Rows are ordered by output spatial position (row-major).  That ordering is
+    load-bearing for the Diffy-style spatial difference path, which differences
+    *consecutive sliding windows* - i.e. consecutive rows of this matrix.
+    """
+    n, c, h, w = x.shape
+    if padding:
+        x = np.pad(
+            x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
+        )
+    ph, pw = x.shape[2], x.shape[3]
+    out_h = (ph - kernel) // stride + 1
+    out_w = (pw - kernel) // stride + 1
+    s_n, s_c, s_h, s_w = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, out_h, out_w, kernel, kernel),
+        strides=(s_n, s_c, s_h * stride, s_w * stride, s_h, s_w),
+        writeable=False,
+    )
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n, out_h * out_w, c * kernel * kernel)
+    return np.ascontiguousarray(cols), (out_h, out_w)
+
+
+def conv2d_from_cols(
+    cols: np.ndarray,
+    weight: np.ndarray,
+    out_hw: Tuple[int, int],
+    bias: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Finish a convolution given pre-unfolded patch rows.
+
+    ``weight`` has shape ``(out_c, in_c, k, k)``; ``cols`` comes from
+    :func:`im2col`.
+    """
+    out_c = weight.shape[0]
+    flat_w = weight.reshape(out_c, -1)
+    out = cols @ flat_w.T
+    if bias is not None:
+        out = out + bias
+    n = cols.shape[0]
+    out_h, out_w = out_hw
+    return out.reshape(n, out_h, out_w, out_c).transpose(0, 3, 1, 2)
+
+
+def conv2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: Optional[np.ndarray] = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """2-D convolution via im2col; exact for integer-valued inputs."""
+    cols, out_hw = im2col(x, weight.shape[2], stride, padding)
+    return conv2d_from_cols(cols, weight, out_hw, bias)
+
+
+def linear(
+    x: np.ndarray, weight: np.ndarray, bias: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Affine map over the trailing dimension; ``weight`` is ``(out, in)``."""
+    out = x @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def avg_pool2d(x: np.ndarray, kernel: int = 2) -> np.ndarray:
+    n, c, h, w = x.shape
+    if h % kernel or w % kernel:
+        raise ValueError(f"spatial dims ({h},{w}) not divisible by {kernel}")
+    return x.reshape(n, c, h // kernel, kernel, w // kernel, kernel).mean(axis=(3, 5))
+
+
+def upsample_nearest(x: np.ndarray, scale: int = 2) -> np.ndarray:
+    return x.repeat(scale, axis=2).repeat(scale, axis=3)
+
+
+def sinusoidal_embedding(timesteps: np.ndarray, dim: int, max_period: float = 10000.0) -> np.ndarray:
+    """Transformer-style sinusoidal timestep embedding ``(len(t), dim)``."""
+    timesteps = np.atleast_1d(np.asarray(timesteps, dtype=np.float64))
+    half = dim // 2
+    freqs = np.exp(-np.log(max_period) * np.arange(half) / max(half, 1))
+    args = timesteps[:, None] * freqs[None, :]
+    emb = np.concatenate([np.cos(args), np.sin(args)], axis=-1)
+    if dim % 2:
+        emb = np.concatenate([emb, np.zeros((emb.shape[0], 1))], axis=-1)
+    return emb

@@ -1,0 +1,67 @@
+"""Weight serialization: save/load a module tree's parameters as ``.npz``.
+
+Random initialization is deterministic per seed, but a released library
+needs reproducible artifacts: trained-elsewhere weights, calibration
+snapshots, regression goldens.  Parameters are addressed by their qualified
+names (``named_parameters``), so any structurally-identical module tree can
+load them - including a quantized tree loading FP32 weights *before*
+``quantize_model`` swaps its layers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["state_dict", "load_state_dict", "save_weights", "load_weights"]
+
+PathLike = Union[str, Path]
+
+
+def state_dict(model: Module) -> Dict[str, np.ndarray]:
+    """Qualified-name -> array copy of every parameter."""
+    return {name: param.data.copy() for name, param in model.named_parameters()}
+
+
+def load_state_dict(
+    model: Module, state: Dict[str, np.ndarray], strict: bool = True
+) -> None:
+    """Copy arrays from ``state`` into the model's parameters in place.
+
+    ``strict=True`` demands an exact key match in both directions and equal
+    shapes; ``strict=False`` loads the intersection.
+    """
+    params = dict(model.named_parameters())
+    if strict:
+        missing = sorted(set(params) - set(state))
+        unexpected = sorted(set(state) - set(params))
+        if missing or unexpected:
+            raise KeyError(
+                f"state mismatch: missing {missing[:5]}, unexpected {unexpected[:5]}"
+            )
+    for name, param in params.items():
+        if name not in state:
+            continue
+        value = np.asarray(state[name], dtype=np.float64)
+        if value.shape != param.data.shape:
+            raise ValueError(
+                f"shape mismatch for {name!r}: "
+                f"{value.shape} vs {param.data.shape}"
+            )
+        param.data[...] = value
+
+
+def save_weights(model: Module, path: PathLike) -> None:
+    """Write all parameters to a compressed ``.npz`` archive."""
+    np.savez_compressed(str(path), **state_dict(model))
+
+
+def load_weights(model: Module, path: PathLike, strict: bool = True) -> None:
+    """Load parameters previously written by :func:`save_weights`."""
+    with np.load(str(path)) as archive:
+        state = {name: archive[name] for name in archive.files}
+    load_state_dict(model, state, strict=strict)

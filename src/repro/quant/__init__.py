@@ -1,0 +1,43 @@
+"""Quantization substrate: fake-quant primitives, calibration, Q-layers."""
+
+from .calibration import (
+    CalibrationCollector,
+    ClusteredCalibrationCollector,
+    calibrate_model,
+    calibrate_model_clustered,
+)
+from .tdq import TimestepClusteredQuantizer, active_step, cluster_bounds, set_active_step
+from .qlayers import (
+    QAttention,
+    QConv2d,
+    QLayerBase,
+    QLinear,
+    iter_qlayers,
+    quantize_model,
+    reset_model_state,
+    set_model_mode,
+)
+from .quantizer import SymmetricQuantizer, dequantize, qrange, quantize
+
+__all__ = [
+    "SymmetricQuantizer",
+    "quantize",
+    "dequantize",
+    "qrange",
+    "QLayerBase",
+    "QLinear",
+    "QConv2d",
+    "QAttention",
+    "quantize_model",
+    "iter_qlayers",
+    "reset_model_state",
+    "set_model_mode",
+    "CalibrationCollector",
+    "ClusteredCalibrationCollector",
+    "calibrate_model",
+    "calibrate_model_clustered",
+    "TimestepClusteredQuantizer",
+    "cluster_bounds",
+    "set_active_step",
+    "active_step",
+]

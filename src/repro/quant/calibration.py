@@ -1,0 +1,168 @@
+"""Offline calibration of input scales (Q-Diffusion-style).
+
+Q-Diffusion calibrates scaling factors offline by running the FP32 model
+over representative reverse trajectories.  What Ditto needs from that
+procedure is a per-layer scale *shared by adjacent time steps*, so that the
+quantized temporal difference ``q_t - q_{t+1}`` is an exact integer.  This
+module reproduces that: it hooks every linear layer of the FP32 model, runs
+one or more short trajectories, records per-layer input ranges, and emits a
+``{layer_name: scale}`` table consumable by
+:func:`repro.quant.qlayers.quantize_model`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from ..nn.attention import Attention
+from ..nn.layers import Conv2d, Linear
+from ..nn.module import Module
+from .quantizer import SymmetricQuantizer
+
+__all__ = ["CalibrationCollector", "calibrate_model"]
+
+
+class CalibrationCollector:
+    """Hooks a float model and accumulates per-layer input ranges."""
+
+    def __init__(self, model: Module, bits: int = 8) -> None:
+        self.model = model
+        self.bits = bits
+        self._quantizers: Dict[str, SymmetricQuantizer] = {}
+        self._removers: List[Callable[[], None]] = []
+
+    def __enter__(self) -> "CalibrationCollector":
+        for name, module in self.model.named_modules():
+            if isinstance(module, (Linear, Conv2d)) or (
+                isinstance(module, Attention) and not module._modules
+            ):
+                self._removers.append(
+                    module.register_forward_hook(self._make_hook(name))
+                )
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        for remove in self._removers:
+            remove()
+        del self._removers[:]
+
+    def _make_hook(self, name: str):
+        def hook(_module, inputs, _output) -> None:
+            if not inputs:
+                return
+            x = inputs[0]
+            if not isinstance(x, np.ndarray):
+                return
+            quantizer = self._quantizers.setdefault(
+                name, SymmetricQuantizer(self.bits)
+            )
+            quantizer.observe(x)
+
+        return hook
+
+    def scales(self) -> Dict[str, float]:
+        return {
+            name: quantizer.freeze()
+            for name, quantizer in self._quantizers.items()
+        }
+
+
+def calibrate_model(
+    model: Module,
+    run_fn: Callable[[], None],
+    bits: int = 8,
+) -> Dict[str, float]:
+    """Run ``run_fn`` (e.g. a short FP32 trajectory) and return input scales.
+
+    Example::
+
+        scales = calibrate_model(fp32_unet, lambda: pipeline.generate(1, rng))
+        qmodel = quantize_model(fp32_unet, calibration=scales)
+    """
+    with CalibrationCollector(model, bits) as collector:
+        run_fn()
+    return collector.scales()
+
+
+class ClusteredCalibrationCollector:
+    """Per-timestep-cluster calibration (Q-Diffusion / TDQ synergy).
+
+    Hooks the FP32 model like :class:`CalibrationCollector`, but buckets the
+    observed ranges by the *active step* announced through
+    :func:`repro.quant.tdq.set_active_step`, producing one
+    :class:`~repro.quant.tdq.TimestepClusteredQuantizer` per layer.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        num_steps: int,
+        num_clusters: int,
+        bits: int = 8,
+    ) -> None:
+        from .tdq import TimestepClusteredQuantizer
+
+        self.model = model
+        self.num_steps = num_steps
+        self.num_clusters = num_clusters
+        self.bits = bits
+        self._quantizer_cls = TimestepClusteredQuantizer
+        self._quantizers: Dict[str, "TimestepClusteredQuantizer"] = {}
+        self._removers: List[Callable[[], None]] = []
+
+    def __enter__(self) -> "ClusteredCalibrationCollector":
+        for name, module in self.model.named_modules():
+            if isinstance(module, (Linear, Conv2d)):
+                self._removers.append(
+                    module.register_forward_hook(self._make_hook(name))
+                )
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        for remove in self._removers:
+            remove()
+        del self._removers[:]
+
+    def _get(self, name: str):
+        quantizer = self._quantizers.get(name)
+        if quantizer is None:
+            quantizer = self._quantizer_cls(self.bits, self.num_clusters)
+            quantizer.configure(self.num_steps)
+            self._quantizers[name] = quantizer
+        return quantizer
+
+    def _make_hook(self, name: str):
+        from .tdq import active_step
+
+        def hook(_module, inputs, _output) -> None:
+            if not inputs or not isinstance(inputs[0], np.ndarray):
+                return
+            step = active_step() or 0
+            self._get(name).observe_step(inputs[0], step)
+
+        return hook
+
+    def quantizers(self) -> Dict[str, "SymmetricQuantizer"]:
+        """Freeze and return the per-layer clustered quantizers."""
+        for quantizer in self._quantizers.values():
+            quantizer.freeze_clusters()
+        return dict(self._quantizers)
+
+
+def calibrate_model_clustered(
+    model: Module,
+    run_fn: Callable[[], None],
+    num_steps: int,
+    num_clusters: int,
+    bits: int = 8,
+) -> Dict[str, "SymmetricQuantizer"]:
+    """Clustered counterpart of :func:`calibrate_model`.
+
+    ``run_fn`` must announce steps via ``repro.quant.tdq.set_active_step``
+    (``DittoEngine`` does this automatically when ``step_clusters > 1``).
+    """
+    with ClusteredCalibrationCollector(model, num_steps, num_clusters, bits) as c:
+        run_fn()
+    return c.quantizers()

@@ -1,0 +1,616 @@
+"""Quantized layers implementing the Ditto difference-processing algorithm.
+
+Each quantized layer supports three execution paths (paper Section IV):
+
+* **dense** - quantize the input, run the full-bit-width integer operation.
+* **temporal** - subtract the previous time step's quantized input, run the
+  layer only on the integer difference, and add the previous step's integer
+  output back (distributive property; *bit-exact* with the dense path).
+* **spatial** - Diffy-style intra-tensor differences between consecutive
+  sliding windows / token rows; also bit-exact.
+
+Every forward records a :class:`~repro.core.trace.RichLayerStep` carrying the
+operand composition (zero / 4-bit / 8-bit) of *all three* paths, so the
+hardware models and Defo can be evaluated post-hoc on a single run.
+
+Attention gets the paper's two algebraic tricks: self-attention temporal
+processing uses ``Q_t K_t = Q_{t+1} K_{t+1} + Q_t dK + dQ K_{t+1}`` (two
+sub-operations instead of three), and cross-attention treats the constant
+context projections K'/V' as weights.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.bitwidth import BitWidthStats, classify
+from ..core.modes import ExecutionMode
+from ..core.trace import RichLayerStep, record_step
+from ..nn import functional as F
+from ..nn.attention import Attention
+from ..nn.layers import Conv2d, Linear
+from ..nn.module import Module
+from .quantizer import SymmetricQuantizer, qrange
+
+__all__ = [
+    "QLayerBase",
+    "QLinear",
+    "QConv2d",
+    "QAttention",
+    "quantize_model",
+    "iter_qlayers",
+    "reset_model_state",
+    "set_model_mode",
+]
+
+
+def _flatten_rows(x: np.ndarray) -> np.ndarray:
+    """View ``x`` as ``(rows, features)`` over the trailing dimension."""
+    return x.reshape(-1, x.shape[-1])
+
+
+def _spatial_diff_rows(mat: np.ndarray) -> np.ndarray:
+    """Difference consecutive rows; the first row stays original (dense)."""
+    d = mat.copy()
+    if mat.shape[0] > 1:
+        d[1:] -= mat[:-1]
+    return d
+
+
+def _merge_classify(*arrays: np.ndarray) -> BitWidthStats:
+    stats = BitWidthStats.empty()
+    for arr in arrays:
+        stats = stats.merge(classify(arr))
+    return stats
+
+
+class QLayerBase(Module):
+    """Shared machinery: mode flag, input quantizer, temporal state."""
+
+    is_linear_op = True
+    kind = "fc"
+
+    def __init__(self, bits: int = 8) -> None:
+        super().__init__()
+        self.layer_name = ""
+        self.mode = ExecutionMode.DENSE
+        self.bits = bits
+        self.input_quant = SymmetricQuantizer(bits)
+        self.nonlinear_after = True
+        self.chained_input = False
+        self.producer_kind = "other"
+        self._prev_q_in: Optional[np.ndarray] = None
+        self._prev_out_int: Optional[np.ndarray] = None
+        self._prev_scale: Optional[float] = None
+
+    def reset_state(self) -> None:
+        self._prev_q_in = None
+        self._prev_out_int = None
+        self._prev_scale = None
+
+    def _temporal_diff(self, q_in: np.ndarray) -> Optional[np.ndarray]:
+        prev = self._prev_q_in
+        if prev is None or prev.shape != q_in.shape:
+            return None
+        # Timestep-clustered quantization (repro.quant.tdq) changes the
+        # integer grid at cluster boundaries: the cached state was produced
+        # under another scale, so differencing against it would be wrong.
+        # Ditto then re-runs one dense step, exactly as the paper's synergy
+        # with Q-Diffusion/TDQ requires.
+        if self._prev_scale is not None and self._prev_scale != self.input_quant.scale:
+            return None
+        return q_in - prev
+
+    def _effective_mode(self, diff: Optional[np.ndarray]) -> ExecutionMode:
+        if self.mode is ExecutionMode.TEMPORAL and diff is None:
+            return ExecutionMode.DENSE
+        return self.mode
+
+
+def _quantize_weight(weight: np.ndarray, bits: int, per_channel: bool):
+    """Weight quantization: per-tensor or per-output-channel scales.
+
+    Q-Diffusion quantizes weights per output channel; Ditto is agnostic
+    because weights are static - only the *activation* grid must be shared
+    across steps.  Per-channel scales tighten the weight grid and therefore
+    the end accuracy, at zero cost to difference processing.
+    """
+    qmin, qmax = qrange(bits)
+    if per_channel:
+        flat = weight.reshape(weight.shape[0], -1)
+        peaks = np.max(np.abs(flat), axis=1)
+        scales = np.where(peaks > 0.0, peaks, 1.0) / qmax
+        shaped = scales.reshape((-1,) + (1,) * (weight.ndim - 1))
+        q_weight = np.clip(np.rint(weight / shaped), qmin, qmax)
+        return q_weight, scales
+    quantizer = SymmetricQuantizer(bits)
+    quantizer.observe(weight)
+    quantizer.freeze()
+    return quantizer.quantize(weight), quantizer.scale
+
+
+class QLinear(QLayerBase):
+    """Quantized fully-connected layer with difference processing."""
+
+    kind = "fc"
+
+    def __init__(
+        self,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray],
+        bits: int = 8,
+        per_channel: bool = False,
+    ) -> None:
+        super().__init__(bits)
+        self.out_features, self.in_features = weight.shape
+        self.per_channel = per_channel
+        self.q_weight, self.weight_scale = _quantize_weight(
+            weight, bits, per_channel
+        )
+        self.bias = None if bias is None else np.array(bias, dtype=np.float64)
+
+    @classmethod
+    def from_float(
+        cls, layer: Linear, bits: int = 8, per_channel: bool = False
+    ) -> "QLinear":
+        bias = layer.bias.data if layer.bias is not None else None
+        return cls(layer.weight.data, bias, bits, per_channel)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        q_in = self.input_quant.quantize(x)
+        diff = self._temporal_diff(q_in)
+        mode = self._effective_mode(diff)
+        if mode is ExecutionMode.TEMPORAL:
+            out_int = self._prev_out_int + diff @ self.q_weight.T
+        else:
+            # Dense and spatial paths share arithmetic: the spatial path's
+            # row-cumulative reconstruction telescopes to the plain matmul.
+            out_int = q_in @ self.q_weight.T
+        # weight_scale is a scalar (per-tensor) or an (out,) vector
+        # (per-channel); both broadcast over the trailing output dim.
+        out = out_int * (self.input_quant.scale * self.weight_scale)
+        if self.bias is not None:
+            out = out + self.bias
+        self._record(q_in, diff, out_int)
+        self._prev_q_in = q_in
+        self._prev_out_int = out_int
+        self._prev_scale = self.input_quant.scale
+        return out
+
+    def _record(
+        self, q_in: np.ndarray, diff: Optional[np.ndarray], out_int: np.ndarray
+    ) -> None:
+        rows = _flatten_rows(q_in)
+        macs = rows.shape[0] * self.in_features * self.out_features
+        record_step(
+            RichLayerStep(
+                step_index=_current_step(),
+                layer_name=self.layer_name,
+                kind=self.kind,
+                macs=int(macs),
+                in_elems=int(q_in.size),
+                out_elems=int(out_int.size),
+                weight_elems=int(self.q_weight.size),
+                data_elems=int(q_in.size),
+                stats_dense=classify(q_in),
+                stats_spatial=classify(_spatial_diff_rows(rows)),
+                stats_temporal=None if diff is None else classify(diff),
+                sub_ops_temporal=1,
+                vpu_elems=int(out_int.size) if self.nonlinear_after else 0,
+                nonlinear_after=self.nonlinear_after,
+                chained_input=self.chained_input,
+                producer_kind=self.producer_kind,
+                executed_mode=self._effective_mode(diff),
+            )
+        )
+
+    def extra_repr(self) -> str:
+        return f"in={self.in_features}, out={self.out_features}, mode={self.mode}"
+
+
+class QConv2d(QLayerBase):
+    """Quantized 2-D convolution with difference processing."""
+
+    kind = "conv"
+
+    def __init__(
+        self,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray],
+        stride: int = 1,
+        padding: int = 0,
+        bits: int = 8,
+        per_channel: bool = False,
+    ) -> None:
+        super().__init__(bits)
+        self.out_channels, self.in_channels, self.kernel_size, _ = weight.shape
+        self.stride = stride
+        self.padding = padding
+        self.per_channel = per_channel
+        self.q_weight, self.weight_scale = _quantize_weight(
+            weight, bits, per_channel
+        )
+        self.bias = None if bias is None else np.array(bias, dtype=np.float64)
+
+    @classmethod
+    def from_float(
+        cls, layer: Conv2d, bits: int = 8, per_channel: bool = False
+    ) -> "QConv2d":
+        bias = layer.bias.data if layer.bias is not None else None
+        return cls(
+            layer.weight.data, bias, layer.stride, layer.padding, bits, per_channel
+        )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        q_in = self.input_quant.quantize(x)
+        diff = self._temporal_diff(q_in)
+        mode = self._effective_mode(diff)
+        if mode is ExecutionMode.TEMPORAL:
+            out_int = self._prev_out_int + F.conv2d(
+                diff, self.q_weight, None, self.stride, self.padding
+            )
+        else:
+            out_int = F.conv2d(q_in, self.q_weight, None, self.stride, self.padding)
+        w_scale = self.weight_scale
+        if self.per_channel:
+            w_scale = np.asarray(w_scale).reshape(1, -1, 1, 1)
+        out = out_int * (self.input_quant.scale * w_scale)
+        if self.bias is not None:
+            out = out + self.bias.reshape(1, -1, 1, 1)
+        self._record(q_in, diff, out_int)
+        self._prev_q_in = q_in
+        self._prev_out_int = out_int
+        self._prev_scale = self.input_quant.scale
+        return out
+
+    def _record(
+        self, q_in: np.ndarray, diff: Optional[np.ndarray], out_int: np.ndarray
+    ) -> None:
+        # Spatial (Diffy) differences live between consecutive sliding
+        # windows, i.e. consecutive rows of the im2col matrix.
+        cols, _ = F.im2col(q_in, self.kernel_size, self.stride, self.padding)
+        spatial = np.concatenate([_spatial_diff_rows(batch) for batch in cols])
+        dot_len = self.in_channels * self.kernel_size * self.kernel_size
+        macs = (out_int.size // self.out_channels) * dot_len * self.out_channels
+        record_step(
+            RichLayerStep(
+                step_index=_current_step(),
+                layer_name=self.layer_name,
+                kind=self.kind,
+                macs=int(macs),
+                in_elems=int(q_in.size),
+                out_elems=int(out_int.size),
+                weight_elems=int(self.q_weight.size),
+                data_elems=int(q_in.size),
+                stats_dense=classify(q_in),
+                stats_spatial=classify(spatial),
+                stats_temporal=None if diff is None else classify(diff),
+                sub_ops_temporal=1,
+                vpu_elems=int(out_int.size) if self.nonlinear_after else 0,
+                nonlinear_after=self.nonlinear_after,
+                chained_input=self.chained_input,
+                producer_kind=self.producer_kind,
+                executed_mode=self._effective_mode(diff),
+            )
+        )
+
+    def extra_repr(self) -> str:
+        return (
+            f"in={self.in_channels}, out={self.out_channels}, "
+            f"k={self.kernel_size}, mode={self.mode}"
+        )
+
+
+class QAttention(QLayerBase):
+    """Quantized multi-head attention with temporal difference processing.
+
+    The projection layers become independent :class:`QLinear` children; this
+    class handles the two activation-by-activation matmuls.  For cross
+    attention the context projections are computed once and cached - K'/V'
+    are constant across time steps (paper Section IV-A).
+    """
+
+    kind = "attn"
+
+    def __init__(
+        self, attn: Attention, bits: int = 8, per_channel: bool = False
+    ) -> None:
+        super().__init__(bits)
+        self.dim = attn.dim
+        self.num_heads = attn.num_heads
+        self.head_dim = attn.head_dim
+        self.is_cross = attn.is_cross
+        self.to_q = QLinear.from_float(attn.to_q, bits, per_channel)
+        self.to_k = QLinear.from_float(attn.to_k, bits, per_channel)
+        self.to_v = QLinear.from_float(attn.to_v, bits, per_channel)
+        self.to_out = QLinear.from_float(attn.to_out, bits, per_channel)
+        # The P x V product feeds the linear output projection directly.
+        self.to_out.chained_input = True
+        self.q_quant = SymmetricQuantizer(bits)
+        self.k_quant = SymmetricQuantizer(bits)
+        self.v_quant = SymmetricQuantizer(bits)
+        # Softmax probabilities live in [0, 1]; fix the scale accordingly.
+        self.p_quant = SymmetricQuantizer(bits, scale=1.0 / 127.0)
+        self._context_cache: Optional[Tuple[int, np.ndarray, np.ndarray]] = None
+        self._prev: Dict[str, np.ndarray] = {}
+        self.layer_name = ""  # re-assign now that the projections exist
+
+    @property
+    def layer_name(self) -> str:
+        return self._layer_name
+
+    @layer_name.setter
+    def layer_name(self, value: str) -> None:
+        object.__setattr__(self, "_layer_name", value)
+        # Keep the projection layers' qualified names in sync so their trace
+        # records are attributable even outside quantize_model.
+        if hasattr(self, "to_q"):
+            self.to_q.layer_name = f"{value}.to_q"
+            self.to_k.layer_name = f"{value}.to_k"
+            self.to_v.layer_name = f"{value}.to_v"
+            self.to_out.layer_name = f"{value}.to_out"
+
+    @classmethod
+    def from_float(
+        cls, attn: Attention, bits: int = 8, per_channel: bool = False
+    ) -> "QAttention":
+        return cls(attn, bits, per_channel)
+
+    # -- state -----------------------------------------------------------
+    def reset_state(self) -> None:
+        super().reset_state()
+        self._prev.clear()
+        self._context_cache = None
+        for child in (self.to_q, self.to_k, self.to_v, self.to_out):
+            child.reset_state()
+
+    def _split(self, x: np.ndarray) -> np.ndarray:
+        b, t, _ = x.shape
+        return x.reshape(b, t, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    # -- forward -----------------------------------------------------------
+    def forward(self, x: np.ndarray, context: Optional[np.ndarray] = None) -> np.ndarray:
+        if self.is_cross and context is None:
+            raise ValueError(f"cross attention {self.layer_name!r} needs context")
+        q_full = self.to_q(x)
+        if self.is_cross:
+            k_full, v_full = self._context_kv(context)
+        else:
+            k_full = self.to_k(x)
+            v_full = self.to_v(x)
+        q = self._split(q_full)
+        k = self._split(k_full)
+        v = self._split(v_full)
+        qq = self.q_quant.quantize(q)
+        qk = self.k_quant.quantize(k)
+        qv = self.v_quant.quantize(v)
+        s_int = self._qk_matmul(qq, qk)
+        scores = s_int * (self.q_quant.scale * self.k_quant.scale) / np.sqrt(self.head_dim)
+        probs = F.softmax(scores, axis=-1)
+        qp = self.p_quant.quantize(probs)
+        o_int = self._pv_matmul(qp, qv)
+        out = o_int * (self.p_quant.scale * self.v_quant.scale)
+        b, h, t, d = out.shape
+        merged = out.transpose(0, 2, 1, 3).reshape(b, t, h * d)
+        return self.to_out(merged)
+
+    def _context_kv(self, context: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        key = id(context)
+        if self._context_cache is not None and self._context_cache[0] == key:
+            return self._context_cache[1], self._context_cache[2]
+        k_full = self.to_k(context)
+        v_full = self.to_v(context)
+        self._context_cache = (key, k_full, v_full)
+        return k_full, v_full
+
+    # -- the two activation x activation matmuls ---------------------------
+    def _qk_matmul(self, qq: np.ndarray, qk: np.ndarray) -> np.ndarray:
+        prev_q = self._prev.get("q")
+        prev_k = self._prev.get("k")
+        prev_s = self._prev.get("s")
+        dq = qq - prev_q if prev_q is not None and prev_q.shape == qq.shape else None
+        dk = qk - prev_k if prev_k is not None and prev_k.shape == qk.shape else None
+        have_state = prev_s is not None and dq is not None and (self.is_cross or dk is not None)
+        mode = self.mode
+        if mode is ExecutionMode.TEMPORAL and not have_state:
+            mode = ExecutionMode.DENSE
+        kt = qk.transpose(0, 1, 3, 2)
+        if mode is ExecutionMode.TEMPORAL:
+            if self.is_cross:
+                s_int = prev_s + dq @ kt
+            else:
+                # Q_t K_t^T = S_{t+1} + Q_t dK^T + dQ K_{t+1}^T
+                s_int = prev_s + qq @ (dk.transpose(0, 1, 3, 2)) + dq @ prev_k.transpose(0, 1, 3, 2)
+        else:
+            s_int = qq @ kt
+        self._record_matmul(
+            suffix="qk",
+            data=qq,
+            other=qk,
+            out_int=s_int,
+            d_data=dq,
+            d_other=dk,
+            other_is_weight=self.is_cross,
+            vpu_out=True,  # softmax + requantization follow
+        )
+        self._prev["q"] = qq
+        self._prev["k"] = qk
+        self._prev["s"] = s_int
+        return s_int
+
+    def _pv_matmul(self, qp: np.ndarray, qv: np.ndarray) -> np.ndarray:
+        prev_p = self._prev.get("p")
+        prev_v = self._prev.get("v")
+        prev_o = self._prev.get("o")
+        dp = qp - prev_p if prev_p is not None and prev_p.shape == qp.shape else None
+        dv = qv - prev_v if prev_v is not None and prev_v.shape == qv.shape else None
+        have_state = prev_o is not None and dp is not None and (self.is_cross or dv is not None)
+        mode = self.mode
+        if mode is ExecutionMode.TEMPORAL and not have_state:
+            mode = ExecutionMode.DENSE
+        if mode is ExecutionMode.TEMPORAL:
+            if self.is_cross:
+                o_int = prev_o + dp @ qv
+            else:
+                # P_t V_t = O_{t+1} + P_t dV + dP V_{t+1}
+                o_int = prev_o + qp @ dv + dp @ prev_v
+        else:
+            o_int = qp @ qv
+        self._record_matmul(
+            suffix="pv",
+            data=qp,
+            other=qv,
+            out_int=o_int,
+            d_data=dp,
+            d_other=dv,
+            other_is_weight=self.is_cross,
+            vpu_out=False,  # output feeds the linear projection directly
+        )
+        self._prev["p"] = qp
+        self._prev["v"] = qv
+        self._prev["o"] = o_int
+        return o_int
+
+    def _record_matmul(
+        self,
+        suffix: str,
+        data: np.ndarray,
+        other: np.ndarray,
+        out_int: np.ndarray,
+        d_data: Optional[np.ndarray],
+        d_other: Optional[np.ndarray],
+        other_is_weight: bool,
+        vpu_out: bool,
+    ) -> None:
+        b, h, t_data, inner = data.shape
+        t_other = other.shape[2]
+        macs = b * h * t_data * t_other * inner
+        if other_is_weight:
+            stats_dense = classify(data)
+            stats_temporal = None if d_data is None else classify(d_data)
+            sub_ops = 1
+            in_elems = data.size
+            weight_elems = other.size
+        else:
+            stats_dense = _merge_classify(data, other)
+            if d_data is None or d_other is None:
+                stats_temporal = None
+            else:
+                stats_temporal = _merge_classify(d_data, d_other)
+            sub_ops = 2
+            in_elems = data.size + other.size
+            weight_elems = 0
+        token_rows = data.reshape(-1, data.shape[-1])
+        stats_spatial = classify(_spatial_diff_rows(token_rows))
+        if not other_is_weight:
+            stats_spatial = stats_spatial.merge(classify(other))
+        record_step(
+            RichLayerStep(
+                step_index=_current_step(),
+                layer_name=f"{self.layer_name}.{suffix}",
+                kind=f"attn_{suffix}",
+                macs=int(macs),
+                in_elems=int(in_elems),
+                out_elems=int(out_int.size),
+                weight_elems=int(weight_elems),
+                data_elems=int(data.size + (0 if other_is_weight else other.size)),
+                stats_dense=stats_dense,
+                stats_spatial=stats_spatial,
+                stats_temporal=stats_temporal,
+                sub_ops_temporal=sub_ops,
+                vpu_elems=int(out_int.size) if vpu_out else 0,
+                nonlinear_after=vpu_out,
+                chained_input=False,
+                producer_kind="other",
+                executed_mode=self.mode,
+            )
+        )
+
+    def extra_repr(self) -> str:
+        kind = "cross" if self.is_cross else "self"
+        return f"dim={self.dim}, heads={self.num_heads}, kind={kind}, mode={self.mode}"
+
+
+def _current_step() -> int:
+    from ..core.trace import TraceRecorder
+
+    recorder = TraceRecorder.current()
+    return recorder.step_index if recorder is not None else 0
+
+
+# ---------------------------------------------------------------------------
+# model-level utilities
+# ---------------------------------------------------------------------------
+
+def quantize_model(
+    model: Module,
+    bits: int = 8,
+    calibration: Optional[Dict[str, float]] = None,
+    input_quantizers: Optional[Dict[str, "SymmetricQuantizer"]] = None,
+    per_channel_weights: bool = False,
+) -> Module:
+    """Swap every linear layer / attention for its quantized counterpart.
+
+    ``calibration`` maps qualified layer names to pre-computed input scales
+    (see :mod:`repro.quant.calibration`); ``input_quantizers`` maps layer
+    names to fully-constructed quantizer objects (e.g. the timestep-clustered
+    quantizers of :mod:`repro.quant.tdq`) and takes precedence.  Uncalibrated
+    layers freeze their scale on first use (hardware-style "dynamic"
+    quantization).  The swap happens in place and ``model`` is returned for
+    chaining.
+    """
+
+    def swap(module: Module) -> None:
+        for name, child in list(module._modules.items()):
+            if isinstance(child, QLayerBase):
+                continue
+            if isinstance(child, Attention):
+                module.register_module(
+                    name, QAttention.from_float(child, bits, per_channel_weights)
+                )
+            elif isinstance(child, Linear):
+                module.register_module(
+                    name, QLinear.from_float(child, bits, per_channel_weights)
+                )
+            elif isinstance(child, Conv2d):
+                module.register_module(
+                    name, QConv2d.from_float(child, bits, per_channel_weights)
+                )
+            else:
+                swap(child)
+
+    swap(model)
+    calibration = calibration or {}
+    input_quantizers = input_quantizers or {}
+    for name, module in model.named_modules():
+        if isinstance(module, QLayerBase):
+            module.layer_name = name
+            quantizer = input_quantizers.get(name)
+            if quantizer is not None:
+                module.input_quant = quantizer
+                continue
+            scale = calibration.get(name)
+            if scale is not None:
+                module.input_quant.scale = float(scale)
+    return model
+
+
+def iter_qlayers(model: Module):
+    """Yield ``(name, qlayer)`` for every quantized layer in the tree."""
+    for name, module in model.named_modules():
+        if isinstance(module, QLayerBase):
+            yield name, module
+
+
+def reset_model_state(model: Module) -> None:
+    """Drop all temporal state (start of a new trajectory)."""
+    for _, qlayer in iter_qlayers(model):
+        qlayer.reset_state()
+
+
+def set_model_mode(model: Module, mode: ExecutionMode) -> None:
+    """Set the execution mode of every quantized layer."""
+    for _, qlayer in iter_qlayers(model):
+        qlayer.mode = mode

@@ -1,0 +1,18 @@
+"""Workloads: synthetic datasets, prompts, and the Table I benchmark suite."""
+
+from .datasets import DATASETS, DatasetSpec, synthetic_images, synthetic_video
+from .prompts import COCO_STYLE_PROMPTS, sample_prompts
+from .suite import SUITE, BenchmarkSpec, benchmark_names, get_benchmark
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "synthetic_images",
+    "synthetic_video",
+    "COCO_STYLE_PROMPTS",
+    "sample_prompts",
+    "SUITE",
+    "BenchmarkSpec",
+    "benchmark_names",
+    "get_benchmark",
+]

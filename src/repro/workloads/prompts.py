@@ -1,0 +1,35 @@
+"""Prompt sets for the text-conditioned (SDM) benchmark.
+
+COCO2017 captions are substituted by a fixed caption list in the same style;
+the paper's own example prompt ("a white vase with yellow tulips against a
+grey background", Fig. 3a) leads the list.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["COCO_STYLE_PROMPTS", "sample_prompts"]
+
+COCO_STYLE_PROMPTS: List[str] = [
+    "a white vase with yellow tulips against a grey background",
+    "a man riding a wave on top of a surfboard",
+    "a group of people standing around a kitchen counter",
+    "two dogs playing with a frisbee in a grassy field",
+    "a red double decker bus driving down a city street",
+    "a plate of food with broccoli and rice on a table",
+    "a train traveling over a bridge near a river",
+    "a young girl holding an umbrella in the rain",
+    "a bathroom with a white toilet and a sink",
+    "several boats docked in a harbor at sunset",
+    "a cat laying on top of a wooden desk",
+    "a baseball player swinging a bat at a ball",
+]
+
+
+def sample_prompts(count: int, offset: int = 0) -> List[str]:
+    """Deterministically pick ``count`` prompts (wrapping around the list)."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    n = len(COCO_STYLE_PROMPTS)
+    return [COCO_STYLE_PROMPTS[(offset + i) % n] for i in range(count)]

@@ -1,0 +1,84 @@
+"""Unit + property tests for bit-width requirement classification (Fig. 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BitWidthStats, classify, required_bits
+
+
+def test_classify_buckets():
+    values = np.array([0, 0, 3, -8, 7, 8, -9, 127])
+    stats = classify(values)
+    assert stats.total == 8
+    assert stats.zero == 2
+    assert stats.low == 3  # 3, -8, 7
+    assert stats.high == 3  # 8, -9, 127
+
+
+def test_classify_empty():
+    stats = classify(np.array([]))
+    assert stats.total == 0
+    assert stats.zero_frac == 0.0
+
+
+def test_fractions_sum_to_one(rng):
+    stats = classify(rng.integers(-128, 128, size=1000))
+    assert stats.zero_frac + stats.low_frac + stats.high_frac == pytest.approx(1.0)
+
+
+def test_low_or_zero_frac():
+    stats = classify(np.array([0, 1, 100]))
+    assert stats.low_or_zero_frac == pytest.approx(2 / 3)
+
+
+def test_merge():
+    a = classify(np.array([0, 1]))
+    b = classify(np.array([100]))
+    merged = a.merge(b)
+    assert merged.total == 3
+    assert merged.zero == 1 and merged.low == 1 and merged.high == 1
+
+
+def test_empty_stats():
+    empty = BitWidthStats.empty()
+    assert empty.total == 0
+    merged = empty.merge(classify(np.array([5])))
+    assert merged.total == 1
+
+
+def test_required_bits_reference_values():
+    values = np.array([0, 1, -1, 7, -8, 8, -9, 127, -128])
+    bits = required_bits(values)
+    assert bits.tolist() == [0, 2, 1, 4, 4, 5, 5, 8, 8]
+
+
+def test_4bit_boundary_consistency():
+    """classify's low bucket must agree with required_bits <= 4."""
+    values = np.arange(-128, 128)
+    bits = required_bits(values)
+    stats = classify(values)
+    low_by_bits = int(np.count_nonzero((bits > 0) & (bits <= 4)))
+    assert stats.low == low_by_bits
+    assert stats.zero == int(np.count_nonzero(bits == 0))
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 10_000), size=st.integers(1, 500))
+def test_classify_partition_property(seed, size):
+    rng = np.random.default_rng(seed)
+    values = rng.integers(-300, 300, size=size)
+    stats = classify(values)
+    assert stats.zero + stats.low + stats.high == stats.total == size
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_merge_is_additive(seed):
+    rng = np.random.default_rng(seed)
+    a = rng.integers(-50, 50, size=64)
+    b = rng.integers(-200, 200, size=32)
+    merged = classify(a).merge(classify(b))
+    joint = classify(np.concatenate([a, b]))
+    assert merged == joint

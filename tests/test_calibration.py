@@ -1,0 +1,79 @@
+"""Unit tests for the offline calibration collectors."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Conv2d, Linear, Module, SiLU
+from repro.quant import CalibrationCollector, calibrate_model
+
+
+class SmallNet(Module):
+    def __init__(self):
+        super().__init__()
+        rng = np.random.default_rng(0)
+        self.conv = Conv2d(2, 4, 3, padding=1, rng=rng)
+        self.act = SiLU()
+        self.fc = Linear(4, 2, rng=rng)
+
+    def forward(self, x):
+        h = self.act(self.conv(x)).mean(axis=(2, 3))
+        return self.fc(h)
+
+
+def test_collector_observes_all_linear_layers(rng):
+    net = SmallNet()
+    with CalibrationCollector(net) as collector:
+        net(rng.normal(size=(1, 2, 6, 6)))
+    scales = collector.scales()
+    assert set(scales) == {"conv", "fc"}
+    assert all(s > 0 for s in scales.values())
+
+
+def test_collector_tracks_running_max():
+    net = SmallNet()
+    with CalibrationCollector(net) as collector:
+        net(np.full((1, 2, 6, 6), 1.0))
+        net(np.full((1, 2, 6, 6), 8.0))
+    scale = collector.scales()["conv"]
+    assert scale == pytest.approx(8.0 / 127.0)
+
+
+def test_collector_removes_hooks():
+    net = SmallNet()
+    with CalibrationCollector(net):
+        pass
+    assert all(not m._forward_hooks for m in net.modules())
+
+
+def test_calibrate_model_convenience(rng):
+    net = SmallNet()
+    scales = calibrate_model(net, lambda: net(rng.normal(size=(1, 2, 6, 6))))
+    assert "conv" in scales and "fc" in scales
+
+
+def test_calibrated_scales_round_trip_into_quantized_model(rng):
+    from repro.quant import iter_qlayers, quantize_model
+
+    net = SmallNet()
+    x = rng.normal(size=(1, 2, 6, 6))
+    scales = calibrate_model(net, lambda: net(x))
+    qnet = quantize_model(net, calibration=scales)
+    layers = dict(iter_qlayers(qnet))
+    assert layers["conv"].input_quant.scale == pytest.approx(scales["conv"])
+    # The calibrated quantized model runs without touching the sticky path.
+    out = qnet(x)
+    assert out.shape == (1, 2)
+
+
+def test_calibration_covers_trajectory_extremes(rng):
+    """The calibrated scale must never be exceeded by in-trajectory values."""
+    net = SmallNet()
+    inputs = [rng.normal(scale=s, size=(1, 2, 6, 6)) for s in (0.1, 1.0, 3.0)]
+
+    def run():
+        for x in inputs:
+            net(x)
+
+    scales = calibrate_model(net, run)
+    peak = max(float(np.abs(x).max()) for x in inputs)
+    assert scales["conv"] * 127.0 >= peak - 1e-9

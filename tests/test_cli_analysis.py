@@ -1,0 +1,97 @@
+"""Tests for the analysis helpers and the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import BenchmarkStudy, format_table, run_study
+from repro.cli import build_parser, main
+from repro.hw import FIG13_DESIGNS, evaluate_designs
+
+
+def test_format_table_alignment():
+    table = format_table(["a", "bb"], [["x", 1.0], ["yy", 2.5]])
+    lines = table.splitlines()
+    assert len(lines) == 4
+    assert all(len(line) == len(lines[0]) for line in lines)
+    assert "2.500" in lines[-1]
+
+
+def test_format_table_empty_rows():
+    table = format_table(["col"], [])
+    assert "col" in table
+
+
+@pytest.fixture(scope="module")
+def study(tiny_engine_result):
+    designs = evaluate_designs(FIG13_DESIGNS, tiny_engine_result.rich_trace)
+    return BenchmarkStudy(
+        benchmark="tiny",
+        engine_result=tiny_engine_result,
+        design_results=designs,
+    )
+
+
+def test_study_temporal_stats(study):
+    stats = study.temporal_stats()
+    assert stats.total > 0
+    assert 0.0 < stats.low_or_zero_frac <= 1.0
+
+
+def test_study_tables_render(study):
+    bops = study.bops_table()
+    assert "temporal diff" in bops
+    hardware = study.hardware_table()
+    assert "Ditto" in hardware and "speedup" in hardware
+
+
+def test_study_summary_mentions_defo(study):
+    assert "Defo" in study.summary()
+
+
+def test_run_study_end_to_end():
+    study = run_study("DDPM", num_steps=4, seed=1)
+    assert study.benchmark == "DDPM"
+    assert "Ditto" in study.design_results
+    assert study.engine_result.rich_trace.num_steps() == 4
+
+
+def test_run_study_with_clusters():
+    study = run_study("DDPM", num_steps=6, step_clusters=2)
+    dense_fallbacks = sum(
+        1 for s in study.engine_result.rich_trace if s.stats_temporal is None
+    )
+    # One extra dense step at the cluster boundary.
+    assert dense_fallbacks > 59  # more than the first step alone
+
+
+# -- CLI ---------------------------------------------------------------------
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_rejects_unknown_benchmark():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "SDXL"])
+
+
+def test_cli_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("DDPM", "SDM", "Latte"):
+        assert name in out
+
+
+def test_cli_run(capsys):
+    assert main(["run", "DDPM", "--steps", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "relative BOPs" in out
+    assert "Ditto" in out
+
+
+def test_cli_similarity(capsys):
+    assert main(["similarity", "DDPM", "--steps", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "temporal sim" in out
+    assert "layer" in out and "temporal" in out

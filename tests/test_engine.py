@@ -1,0 +1,77 @@
+"""Integration tests for the DittoEngine."""
+
+import numpy as np
+import pytest
+
+from repro.core import DittoEngine, ExecutionMode
+from repro.workloads import get_benchmark
+
+from .conftest import make_tiny_engine
+
+
+def test_engine_result_summary(tiny_engine_result):
+    text = tiny_engine_result.summary()
+    assert "tiny" in text
+    assert "5 denoiser calls" in text
+
+
+def test_engine_records_every_step(tiny_engine_result):
+    assert tiny_engine_result.rich_trace.num_steps() == 5
+    assert tiny_engine_result.num_model_calls == 5
+
+
+def test_engine_first_step_dense(tiny_engine_result):
+    by_step = tiny_engine_result.rich_trace.by_step()
+    assert all(s.stats_temporal is None for s in by_step[0])
+    later = [s for s in by_step[2] if s.kind in ("conv", "fc")]
+    assert later and all(s.stats_temporal is not None for s in later)
+
+
+def test_engine_samples_shape(tiny_engine_result):
+    assert tiny_engine_result.samples.shape == (1, 2, 8, 8)
+    assert np.isfinite(tiny_engine_result.samples).all()
+
+
+def test_engine_static_info_populated(tiny_engine_result):
+    assert tiny_engine_result.static_info
+    assert any(
+        info.producer_kind == "silu"
+        for info in tiny_engine_result.static_info.values()
+    )
+
+
+def test_engine_deterministic():
+    a = make_tiny_engine(num_steps=3).run(seed=1)
+    b = make_tiny_engine(num_steps=3).run(seed=1)
+    np.testing.assert_array_equal(a.samples, b.samples)
+    assert len(a.rich_trace) == len(b.rich_trace)
+
+
+def test_engine_plms_extra_step():
+    engine = make_tiny_engine(sampler="plms", num_steps=3)
+    result = engine.run()
+    # PLMS warmup adds one call: 4 recorded "steps" for 3 sampler steps.
+    assert result.num_model_calls == 4
+    assert result.rich_trace.num_steps() == 4
+
+
+def test_engine_from_benchmark_spec():
+    spec = get_benchmark("DDPM")
+    engine = DittoEngine.from_benchmark(spec, num_steps=3, calibrate=False)
+    result = engine.run()
+    assert result.benchmark == "DDPM"
+    assert result.samples.shape == (1, 3, 16, 16)
+
+
+def test_engine_calibrated_scales_cover_trajectory():
+    engine = make_tiny_engine(num_steps=3, calibrate=True)
+    from repro.quant import iter_qlayers
+
+    scales = [q.input_quant.scale for _, q in iter_qlayers(engine.qmodel)
+              if q.input_quant.scale is not None]
+    assert scales and all(s > 0 for s in scales)
+
+
+def test_unknown_benchmark_rejected():
+    with pytest.raises(ValueError):
+        get_benchmark("SDXL")

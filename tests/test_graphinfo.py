@@ -1,0 +1,95 @@
+"""Unit tests for Defo's static computing-graph analysis."""
+
+import numpy as np
+
+from repro.core import analyze_model
+from repro.models import build_dit
+from repro.models.blocks import ResNetBlock
+from repro.nn import Conv2d, GELU, Linear, Module, SiLU
+from repro.quant import iter_qlayers, quantize_model
+
+
+class Chain(Module):
+    """linear -> silu -> linear -> linear (direct chain) -> gelu."""
+
+    def __init__(self):
+        super().__init__()
+        rng = np.random.default_rng(0)
+        self.fc1 = Linear(4, 4, rng=rng)
+        self.act1 = SiLU()
+        self.fc2 = Linear(4, 4, rng=rng)
+        self.fc3 = Linear(4, 4, rng=rng)
+        self.act2 = GELU()
+
+    def forward(self, x):
+        return self.act2(self.fc3(self.fc2(self.act1(self.fc1(x)))))
+
+
+def test_producer_kinds_detected(rng):
+    model = quantize_model(Chain())
+    x = rng.normal(size=(2, 4))
+    info = analyze_model(model, lambda: model(x))
+    assert info["fc1"].producer_kind == "other"  # raw input
+    assert info["fc2"].producer_kind == "silu"
+    assert info["fc3"].producer_kind == "linear"
+    assert info["fc3"].chained_input
+
+
+def test_nonlinear_after_detection(rng):
+    model = quantize_model(Chain())
+    x = rng.normal(size=(2, 4))
+    info = analyze_model(model, lambda: model(x))
+    assert info["fc1"].nonlinear_after  # silu consumes it
+    assert not info["fc2"].nonlinear_after  # fc3 (linear) consumes it
+    assert info["fc3"].nonlinear_after  # gelu consumes it
+
+
+def test_annotations_written_to_layers(rng):
+    model = quantize_model(Chain())
+    x = rng.normal(size=(2, 4))
+    analyze_model(model, lambda: model(x))
+    layers = dict(iter_qlayers(model))
+    assert layers["fc3"].chained_input
+    assert layers["fc2"].producer_kind == "silu"
+
+
+def test_resnet_block_convs_follow_silu(rng):
+    class Wrap(Module):
+        def __init__(self):
+            super().__init__()
+            self.block = ResNetBlock(4, 4, emb_dim=6, rng=np.random.default_rng(1))
+
+        def forward(self, x, emb):
+            return self.block(x, emb)
+
+    model = quantize_model(Wrap())
+    x = rng.normal(size=(1, 4, 6, 6))
+    emb = rng.normal(size=(1, 6))
+    info = analyze_model(model, lambda: model(x, emb))
+    # Paper Fig. 2: conv layers in ResNet blocks sit behind SiLU, which is
+    # exactly what makes Cambricon-D's sign-mask dataflow applicable there.
+    assert info["block.conv1"].producer_kind == "silu"
+    assert info["block.conv2"].producer_kind == "silu"
+
+
+def test_dit_layers_not_sign_mask_eligible(rng):
+    """DiT uses LayerNorm/GeLU, so sign-mask (SiLU/GN only) cannot help."""
+    from repro.core.trace import SIGN_MASK_KINDS
+
+    model = quantize_model(build_dit())
+    x = rng.normal(size=(1, 4, 16, 16))
+    info = analyze_model(
+        model, lambda: model(x, np.array([5.0]), y=np.array([1]))
+    )
+    token_path = {
+        name: item
+        for name, item in info.items()
+        if ".attn." in name or ".mlp" in name
+    }
+    assert token_path  # sanity: analysis saw the transformer blocks
+    eligible = [
+        name
+        for name, item in token_path.items()
+        if item.producer_kind in SIGN_MASK_KINDS
+    ]
+    assert eligible == []

@@ -1,0 +1,116 @@
+"""Tests for weight serialization and JSON export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.export import (
+    defo_report_to_dict,
+    dump_json,
+    hardware_report_to_dict,
+    rich_step_to_dict,
+    trace_to_dict,
+)
+from repro.core import run_defo
+from repro.hw import build_accelerator
+from repro.models import build_ddpm_unet
+from repro.nn.io import load_state_dict, load_weights, save_weights, state_dict
+
+
+# -- weights ------------------------------------------------------------------
+
+def test_state_dict_roundtrip():
+    model = build_ddpm_unet(seed=1)
+    state = state_dict(model)
+    assert state
+    other = build_ddpm_unet(seed=2)  # different init
+    load_state_dict(other, state)
+    x = np.random.default_rng(0).standard_normal((1, 3, 16, 16))
+    np.testing.assert_array_equal(
+        model(x, np.array([5.0])), other(x, np.array([5.0]))
+    )
+
+
+def test_state_dict_returns_copies():
+    model = build_ddpm_unet(seed=1)
+    state = state_dict(model)
+    key = next(iter(state))
+    state[key][...] = 0.0
+    assert not np.allclose(dict(model.named_parameters())[key].data, 0.0)
+
+
+def test_strict_load_rejects_mismatch():
+    model = build_ddpm_unet(seed=1)
+    state = state_dict(model)
+    state.pop(next(iter(state)))
+    with pytest.raises(KeyError):
+        load_state_dict(model, state, strict=True)
+    load_state_dict(model, state, strict=False)  # intersection is fine
+
+
+def test_shape_mismatch_rejected():
+    model = build_ddpm_unet(seed=1)
+    state = state_dict(model)
+    key = next(iter(state))
+    state[key] = np.zeros((1, 1))
+    with pytest.raises(ValueError):
+        load_state_dict(model, state, strict=False)
+
+
+def test_save_load_npz(tmp_path):
+    model = build_ddpm_unet(seed=1)
+    path = tmp_path / "weights.npz"
+    save_weights(model, path)
+    other = build_ddpm_unet(seed=9)
+    load_weights(other, path)
+    x = np.random.default_rng(0).standard_normal((1, 3, 16, 16))
+    np.testing.assert_array_equal(
+        model(x, np.array([5.0])), other(x, np.array([5.0]))
+    )
+
+
+# -- JSON export ---------------------------------------------------------------
+
+def test_rich_step_export(tiny_engine_result):
+    record = tiny_engine_result.rich_trace.steps[-1]
+    payload = rich_step_to_dict(record)
+    assert payload["layer_name"] == record.layer_name
+    assert payload["stats_dense"]["total"] == record.stats_dense.total
+    json.dumps(payload)  # must be serializable
+
+
+def test_trace_export_counts(tiny_engine_result):
+    payload = trace_to_dict(tiny_engine_result.rich_trace)
+    assert payload["num_records"] == len(tiny_engine_result.rich_trace)
+    assert payload["total_macs"] == tiny_engine_result.rich_trace.total_macs()
+    assert len(payload["records"]) == payload["num_records"]
+
+
+def test_hardware_report_export(tiny_engine_result):
+    hardware = build_accelerator("Ditto")
+    report = run_defo(tiny_engine_result.rich_trace, hardware)
+    hw_report = hardware.run(report.trace)
+    payload = hardware_report_to_dict(hw_report)
+    assert payload["total_cycles"] == pytest.approx(hw_report.total_cycles)
+    assert sum(payload["energy_breakdown_pj"].values()) == pytest.approx(
+        hw_report.total_energy_pj
+    )
+    json.dumps(payload)
+
+
+def test_defo_report_export(tiny_engine_result):
+    hardware = build_accelerator("Ditto")
+    report = run_defo(tiny_engine_result.rich_trace, hardware)
+    payload = defo_report_to_dict(report)
+    assert set(payload["decisions"]) == set(report.decisions)
+    assert payload["accuracy"] == report.accuracy
+    json.dumps(payload)
+
+
+def test_dump_json(tmp_path, tiny_engine_result):
+    path = tmp_path / "trace.json"
+    dump_json(trace_to_dict(tiny_engine_result.rich_trace), path)
+    with open(path) as fh:
+        loaded = json.load(fh)
+    assert loaded["num_records"] == len(tiny_engine_result.rich_trace)

@@ -1,0 +1,124 @@
+"""Unit tests for the FID / IS / CLIP-score proxies and pixel metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    FeatureExtractor,
+    clip_score,
+    fid_score,
+    frechet_distance,
+    gaussian_stats,
+    inception_score,
+    psnr,
+    snr_db,
+)
+from repro.workloads import synthetic_images
+
+
+@pytest.fixture(scope="module")
+def images():
+    return synthetic_images("cifar10", 24, seed=1)
+
+
+@pytest.fixture(scope="module")
+def extractor():
+    return FeatureExtractor(image_channels=3)
+
+
+def test_features_shape(images, extractor):
+    feats = extractor.features(images)
+    assert feats.shape == (24, 64)
+    assert np.isfinite(feats).all()
+
+
+def test_features_deterministic(images):
+    a = FeatureExtractor(image_channels=3).features(images)
+    b = FeatureExtractor(image_channels=3).features(images)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_features_reject_bad_input(extractor):
+    with pytest.raises(ValueError):
+        extractor.features(np.zeros((3, 16, 16)))
+    with pytest.raises(ValueError):
+        extractor.features(np.zeros((1, 4, 16, 16)))
+
+
+def test_gaussian_stats_shapes(images, extractor):
+    mu, sigma = gaussian_stats(extractor.features(images))
+    assert mu.shape == (64,)
+    assert sigma.shape == (64, 64)
+
+
+def test_gaussian_stats_needs_samples():
+    with pytest.raises(ValueError):
+        gaussian_stats(np.zeros((1, 8)))
+
+
+def test_frechet_distance_identity():
+    mu = np.zeros(4)
+    sigma = np.eye(4)
+    assert frechet_distance(mu, sigma, mu, sigma) == pytest.approx(0.0, abs=1e-8)
+
+
+def test_frechet_distance_mean_shift():
+    sigma = np.eye(3)
+    d = frechet_distance(np.zeros(3), sigma, np.full(3, 2.0), sigma)
+    assert d == pytest.approx(12.0)
+
+
+def test_fid_self_is_zero(images):
+    assert fid_score(images, images) == pytest.approx(0.0, abs=1e-6)
+
+
+def test_fid_separates_distributions(images):
+    noise = np.random.default_rng(0).uniform(-1, 1, images.shape)
+    same = fid_score(images, synthetic_images("cifar10", 24, seed=2))
+    different = fid_score(images, noise)
+    assert different > same
+
+
+def test_inception_score_bounds(images):
+    score = inception_score(images)
+    assert 1.0 <= score <= 10.0  # between 1 and the class count
+
+
+def test_inception_score_collapse_detection(images):
+    """A batch of identical images must score lower than a diverse batch."""
+    collapsed = np.tile(images[:1], (24, 1, 1, 1))
+    assert inception_score(collapsed) <= inception_score(images) + 1e-9
+
+
+def test_clip_score_range(images):
+    prompts = [f"an image number {i}" for i in range(len(images))]
+    score = clip_score(images, prompts)
+    assert 0.0 <= score <= 1.0
+
+
+def test_clip_score_prompt_count_checked(images):
+    with pytest.raises(ValueError):
+        clip_score(images, ["only one prompt"])
+
+
+def test_psnr_identity(images):
+    assert psnr(images, images) == float("inf")
+
+
+def test_psnr_decreases_with_noise(images):
+    rng = np.random.default_rng(0)
+    small = psnr(images, images + rng.normal(0, 0.01, images.shape))
+    large = psnr(images, images + rng.normal(0, 0.1, images.shape))
+    assert small > large > 0
+
+
+def test_snr_db_reference(images):
+    noisy = images + 0.1 * images  # noise = 0.1 * signal -> SNR = 20 dB
+    assert snr_db(images, noisy) == pytest.approx(20.0, abs=1e-9)
+
+
+def test_shape_mismatch_rejected(images):
+    with pytest.raises(ValueError):
+        psnr(images, images[:2])
+    with pytest.raises(ValueError):
+        snr_db(images, images[:2])

@@ -1,0 +1,112 @@
+"""Unit tests for DiT, Latte, the toy VAE and the toy text encoder."""
+
+import numpy as np
+import pytest
+
+from repro.models import DiT, DiTBlock, Latte, ToyTextEncoder, ToyVAE
+from repro.models.zoo import build_dit, build_latte, build_text_encoder, build_vae
+
+
+def test_dit_block_shapes(rng):
+    block = DiTBlock(16, num_heads=2, rng=rng)
+    x = rng.normal(size=(2, 9, 16))
+    cond = rng.normal(size=(2, 16))
+    assert block(x, cond).shape == x.shape
+
+
+def test_dit_forward_shape():
+    model = build_dit()
+    x = np.random.default_rng(0).standard_normal((1, 4, 16, 16))
+    out = model(x, np.array([10.0]), y=np.array([1]))
+    assert out.shape == x.shape
+
+
+def test_dit_unpatchify_roundtrip(rng):
+    model = DiT(in_channels=2, input_size=4, patch=2, dim=8, depth=2,
+                num_heads=2, num_classes=3, rng=rng)
+    tokens = rng.normal(size=(1, 4, 2 * 2 * 2))
+    img = model.unpatchify(tokens)
+    assert img.shape == (1, 2, 4, 4)
+    # Token 0 carries patch (0,0): its values must land in the top-left 2x2.
+    tokens2 = np.zeros_like(tokens)
+    tokens2[0, 0] = 1.0
+    img2 = model.unpatchify(tokens2)
+    assert img2[0, :, :2, :2].sum() == pytest.approx(8.0)
+    assert img2[0, :, 2:, :].sum() == 0.0
+
+
+def test_dit_label_sensitivity():
+    model = build_dit()
+    x = np.random.default_rng(0).standard_normal((1, 4, 16, 16))
+    a = model(x, np.array([10.0]), y=np.array([1]))
+    b = model(x, np.array([10.0]), y=np.array([2]))
+    assert not np.allclose(a, b)
+
+
+def test_dit_rejects_indivisible_patch():
+    with pytest.raises(ValueError):
+        DiT(input_size=9, patch=2)
+
+
+def test_latte_forward_shape():
+    model = build_latte()
+    x = np.random.default_rng(0).standard_normal((1, 4, 4, 16, 16))
+    out = model(x, np.array([10.0]), y=np.array([1]))
+    assert out.shape == x.shape
+
+
+def test_latte_frame_count_checked():
+    model = build_latte()
+    x = np.zeros((1, 3, 4, 16, 16))
+    with pytest.raises(ValueError):
+        model(x, np.array([1.0]), y=np.array([0]))
+
+
+def test_latte_requires_even_depth(rng):
+    with pytest.raises(ValueError):
+        Latte(depth=3, rng=rng)
+
+
+def test_latte_temporal_mixing(rng):
+    """Perturbing one frame must influence other frames (temporal blocks)."""
+    model = Latte(in_channels=2, input_size=4, num_frames=3, patch=2,
+                  dim=8, depth=2, num_heads=2, num_classes=3, rng=rng)
+    x = rng.normal(size=(1, 3, 2, 4, 4))
+    base = model(x, np.array([5.0]), y=np.array([0]))
+    x2 = x.copy()
+    x2[0, 0] += 1.0
+    pert = model(x2, np.array([5.0]), y=np.array([0]))
+    assert not np.allclose(base[0, 2], pert[0, 2])
+
+
+def test_vae_roundtrip_shapes():
+    vae = build_vae()
+    imgs = np.random.default_rng(0).uniform(-1, 1, (2, 3, 16, 16))
+    lat = vae.encode(imgs)
+    assert lat.shape == (2, 4, 4, 4)
+    rec = vae.decode(lat)
+    assert rec.shape == imgs.shape
+    assert np.abs(rec).max() <= 1.0  # tanh output
+
+
+def test_text_encoder_determinism():
+    enc = build_text_encoder()
+    a = enc.encode(["a red bus"])
+    b = enc.encode(["a red bus"])
+    np.testing.assert_array_equal(a, b)
+    c = enc.encode(["a blue bus"])
+    assert not np.allclose(a, c)
+
+
+def test_text_encoder_shape_and_padding():
+    enc = ToyTextEncoder(dim=8, max_tokens=6)
+    out = enc.encode(["one two", "a much longer prompt than six tokens here"])
+    assert out.shape == (2, 6, 8)
+
+
+def test_tokenize_pads_and_truncates():
+    enc = ToyTextEncoder(max_tokens=4)
+    short = enc.tokenize("hi")
+    assert len(short) == 4 and short[1:].tolist() == [0, 0, 0]
+    long = enc.tokenize("a b c d e f g")
+    assert len(long) == 4

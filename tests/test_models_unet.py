@@ -1,0 +1,135 @@
+"""Unit tests for the UNet family (DDPM / LDM / conditional)."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    AttentionBlock,
+    ResNetBlock,
+    SpatialTransformer,
+    TransformerBlock,
+    UNet,
+)
+from repro.models.zoo import (
+    CONTEXT_DIM,
+    build_conditional_unet,
+    build_ddpm_unet,
+    build_latent_unet,
+)
+
+
+def test_resnet_block_shapes(rng):
+    block = ResNetBlock(8, 16, emb_dim=12, rng=rng)
+    out = block(rng.normal(size=(2, 8, 8, 8)), rng.normal(size=(2, 12)))
+    assert out.shape == (2, 16, 8, 8)
+
+
+def test_resnet_block_identity_skip(rng):
+    block = ResNetBlock(8, 8, emb_dim=12, rng=rng)
+    from repro.nn import Identity
+
+    assert isinstance(block.skip, Identity)
+
+
+def test_attention_block_residual(rng):
+    block = AttentionBlock(8, rng=rng)
+    x = rng.normal(size=(1, 8, 4, 4))
+    out = block(x)
+    assert out.shape == x.shape
+    assert not np.allclose(out, x)
+
+
+def test_transformer_block_self_and_cross(rng):
+    block = TransformerBlock(8, context_dim=6, rng=rng)
+    x = rng.normal(size=(2, 5, 8))
+    ctx = rng.normal(size=(2, 3, 6))
+    assert block(x, context=ctx).shape == x.shape
+
+
+def test_spatial_transformer_wraps_tokens(rng):
+    st = SpatialTransformer(8, context_dim=6, rng=rng)
+    x = rng.normal(size=(1, 8, 4, 4))
+    ctx = rng.normal(size=(1, 3, 6))
+    assert st(x, context=ctx).shape == x.shape
+
+
+def test_ddpm_unet_forward():
+    model = build_ddpm_unet()
+    x = np.random.default_rng(0).standard_normal((1, 3, 16, 16))
+    out = model(x, np.array([10.0]))
+    assert out.shape == x.shape
+
+
+def test_latent_unet_forward():
+    model = build_latent_unet()
+    x = np.random.default_rng(0).standard_normal((1, 4, 16, 16))
+    out = model(x, np.array([10.0]))
+    assert out.shape == x.shape
+
+
+def test_conditional_unet_requires_matching_context_dim():
+    model = build_conditional_unet()
+    x = np.random.default_rng(0).standard_normal((1, 4, 16, 16))
+    ctx = np.random.default_rng(1).standard_normal((1, 4, CONTEXT_DIM))
+    out = model(x, np.array([10.0]), context=ctx)
+    assert out.shape == x.shape
+
+
+def test_conditional_unet_context_changes_output():
+    model = build_conditional_unet()
+    x = np.random.default_rng(0).standard_normal((1, 4, 16, 16))
+    rng = np.random.default_rng(1)
+    a = model(x, np.array([10.0]), context=rng.standard_normal((1, 4, CONTEXT_DIM)))
+    b = model(x, np.array([10.0]), context=rng.standard_normal((1, 4, CONTEXT_DIM)))
+    assert not np.allclose(a, b)
+
+
+def test_unet_paper_layer_names_exist():
+    """The figures reference conv-in and decoder skip layers by name."""
+    model = build_ddpm_unet()
+    names = [n for n, _ in model.named_modules()]
+    assert "conv_in" in names
+    assert any(n.startswith("up.0.res.0") for n in names)
+
+
+def test_unet_timestep_sensitivity():
+    model = build_ddpm_unet()
+    x = np.random.default_rng(0).standard_normal((1, 3, 16, 16))
+    a = model(x, np.array([10.0]))
+    b = model(x, np.array([90.0]))
+    assert not np.allclose(a, b)
+
+
+def test_class_conditional_unet_label_embedding(rng):
+    model = UNet(
+        in_channels=2,
+        base_channels=8,
+        channel_mults=(1,),
+        attention_levels=(),
+        block_type="none",
+        num_classes=5,
+        rng=rng,
+    )
+    x = rng.normal(size=(1, 2, 8, 8))
+    out = model(x, np.array([5.0]), y=np.array([2]))
+    assert out.shape == x.shape
+    with pytest.raises(ValueError):
+        model(x, np.array([5.0]))  # label required
+
+
+def test_unet_rejects_bad_block_type():
+    with pytest.raises(ValueError):
+        UNet(block_type="mamba")
+
+
+def test_unet_without_attention(rng):
+    model = UNet(
+        in_channels=2,
+        base_channels=8,
+        channel_mults=(1, 2),
+        attention_levels=(),
+        block_type="none",
+        rng=rng,
+    )
+    out = model(rng.normal(size=(1, 2, 8, 8)), np.array([3.0]))
+    assert out.shape == (1, 2, 8, 8)

@@ -1,0 +1,82 @@
+"""Unit tests for multi-head attention and embeddings."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Attention, LabelEmbedding, PatchEmbed, TimestepEmbedding
+from repro.nn import functional as F
+
+
+def test_self_attention_shape(rng):
+    attn = Attention(8, num_heads=2, rng=rng)
+    out = attn(rng.normal(size=(2, 5, 8)))
+    assert out.shape == (2, 5, 8)
+
+
+def test_cross_attention_shape(rng):
+    attn = Attention(8, num_heads=2, context_dim=6, rng=rng)
+    x = rng.normal(size=(2, 5, 8))
+    ctx = rng.normal(size=(2, 3, 6))
+    out = attn(x, context=ctx)
+    assert out.shape == (2, 5, 8)
+    assert attn.is_cross
+
+
+def test_attention_rejects_indivisible_heads():
+    with pytest.raises(ValueError):
+        Attention(7, num_heads=2)
+
+
+def test_split_merge_roundtrip(rng):
+    attn = Attention(8, num_heads=4, rng=rng)
+    x = rng.normal(size=(2, 5, 8))
+    np.testing.assert_array_equal(attn.merge_heads(attn.split_heads(x)), x)
+
+
+def test_attention_probs_normalized(rng):
+    attn = Attention(8, num_heads=2, rng=rng)
+    x = rng.normal(size=(1, 4, 8))
+    q = attn.split_heads(attn.to_q(x))
+    k = attn.split_heads(attn.to_k(x))
+    probs = F.softmax(attn.scores(q, k), axis=-1)
+    np.testing.assert_allclose(probs.sum(axis=-1), 1.0, rtol=1e-10)
+
+
+def test_uniform_attention_on_identical_tokens(rng):
+    """Identical tokens must receive identical attention weights."""
+    attn = Attention(8, num_heads=2, rng=rng)
+    token = rng.normal(size=8)
+    x = np.tile(token, (1, 6, 1))
+    q = attn.split_heads(attn.to_q(x))
+    k = attn.split_heads(attn.to_k(x))
+    probs = F.softmax(attn.scores(q, k), axis=-1)
+    np.testing.assert_allclose(probs, 1.0 / 6.0, rtol=1e-9)
+
+
+def test_timestep_embedding_shapes(rng):
+    emb = TimestepEmbedding(8, 16, rng=rng)
+    out = emb(np.array([0.0, 50.0]))
+    assert out.shape == (2, 16)
+    assert not np.allclose(out[0], out[1])
+
+
+def test_patch_embed_token_count(rng):
+    pe = PatchEmbed(4, 16, patch=2, rng=rng)
+    out = pe(rng.normal(size=(2, 4, 8, 8)))
+    assert out.shape == (2, 16, 16)
+
+
+def test_label_embedding_lookup(rng):
+    emb = LabelEmbedding(10, 8, rng=rng)
+    out = emb(np.array([1, 1, 3]))
+    assert out.shape == (3, 8)
+    np.testing.assert_array_equal(out[0], out[1])
+    assert not np.allclose(out[0], out[2])
+
+
+def test_label_embedding_bounds():
+    emb = LabelEmbedding(5, 4)
+    with pytest.raises(ValueError):
+        emb(np.array([5]))
+    with pytest.raises(ValueError):
+        emb(np.array([-1]))

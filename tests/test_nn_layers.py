@@ -1,0 +1,124 @@
+"""Unit tests for the float layer modules."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AvgPool2d,
+    Conv2d,
+    Downsample,
+    GELU,
+    GroupNorm,
+    Identity,
+    LayerNorm,
+    Linear,
+    ModuleList,
+    Sequential,
+    SiLU,
+    Softmax,
+    Upsample,
+)
+
+
+def test_linear_shapes_and_bias(rng):
+    layer = Linear(6, 4, rng=rng)
+    out = layer(rng.normal(size=(3, 6)))
+    assert out.shape == (3, 4)
+    assert layer.bias is not None
+
+
+def test_linear_no_bias(rng):
+    layer = Linear(6, 4, bias=False, rng=rng)
+    assert layer.bias is None
+    np.testing.assert_allclose(layer(np.zeros((1, 6))), np.zeros((1, 4)))
+
+
+def test_linear_batched_tokens(rng):
+    layer = Linear(6, 4, rng=rng)
+    out = layer(rng.normal(size=(2, 5, 6)))
+    assert out.shape == (2, 5, 4)
+
+
+def test_linear_is_marked_linear_op():
+    assert Linear(2, 2).is_linear_op
+    assert Conv2d(2, 2, 3).is_linear_op
+
+
+def test_conv2d_shapes(rng):
+    layer = Conv2d(3, 8, 3, padding=1, rng=rng)
+    out = layer(rng.normal(size=(2, 3, 8, 8)))
+    assert out.shape == (2, 8, 8, 8)
+
+
+def test_conv2d_stride_halves(rng):
+    layer = Conv2d(3, 8, 3, stride=2, padding=1, rng=rng)
+    out = layer(rng.normal(size=(1, 3, 8, 8)))
+    assert out.shape == (1, 8, 4, 4)
+
+
+def test_nonlinear_markers():
+    for cls in (SiLU, GELU, Softmax, GroupNorm, LayerNorm):
+        assert getattr(cls, "is_nonlinear", False), cls
+
+
+def test_group_norm_module(rng):
+    layer = GroupNorm(4, 8)
+    out = layer(rng.normal(size=(2, 8, 4, 4)))
+    assert out.shape == (2, 8, 4, 4)
+
+
+def test_layer_norm_affine_flag():
+    assert LayerNorm(8).weight is not None
+    assert LayerNorm(8, affine=False).weight is None
+
+
+def test_layer_norm_no_affine_forward(rng):
+    out = LayerNorm(8, affine=False)(rng.normal(size=(2, 8)))
+    np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-10)
+
+
+def test_identity_passthrough(rng):
+    x = rng.normal(size=(3, 3))
+    assert Identity()(x) is x
+
+
+def test_module_list_append_and_index():
+    ml = ModuleList([Identity()])
+    ml.append(SiLU())
+    assert len(ml) == 2
+    assert isinstance(ml[1], SiLU)
+    assert len(list(iter(ml))) == 2
+
+
+def test_module_list_registers_children():
+    ml = ModuleList([Linear(2, 2), Linear(2, 2)])
+    assert len(list(ml.named_parameters())) == 4
+
+
+def test_avg_pool_module(rng):
+    out = AvgPool2d(2)(rng.normal(size=(1, 2, 4, 4)))
+    assert out.shape == (1, 2, 2, 2)
+
+
+def test_upsample_doubles_resolution(rng):
+    layer = Upsample(4, rng=rng)
+    out = layer(rng.normal(size=(1, 4, 4, 4)))
+    assert out.shape == (1, 4, 8, 8)
+
+
+def test_downsample_halves_resolution(rng):
+    layer = Downsample(4, rng=rng)
+    out = layer(rng.normal(size=(1, 4, 8, 8)))
+    assert out.shape == (1, 4, 4, 4)
+
+
+def test_sequential_empty():
+    seq = Sequential()
+    x = np.ones((1, 2))
+    np.testing.assert_array_equal(seq(x), x)
+
+
+def test_weight_init_scale(rng):
+    layer = Linear(100, 50, rng=rng)
+    bound = 1.0 / np.sqrt(100)
+    assert np.abs(layer.weight.data).max() <= bound + 1e-12

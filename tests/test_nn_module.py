@@ -1,0 +1,100 @@
+"""Unit tests for the Module/Parameter registry and hooks."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Module, Parameter, Sequential, SiLU
+
+
+class Leaf(Module):
+    def __init__(self):
+        super().__init__()
+        self.weight = Parameter(np.ones((2, 2)))
+
+    def forward(self, x):
+        return x @ self.weight.data
+
+
+class Tree(Module):
+    def __init__(self):
+        super().__init__()
+        self.a = Leaf()
+        self.b = Leaf()
+
+    def forward(self, x):
+        return self.b(self.a(x))
+
+
+def test_parameter_registration():
+    leaf = Leaf()
+    names = dict(leaf.named_parameters())
+    assert list(names) == ["weight"]
+    assert names["weight"].shape == (2, 2)
+
+
+def test_nested_parameter_names():
+    tree = Tree()
+    names = [n for n, _ in tree.named_parameters()]
+    assert names == ["a.weight", "b.weight"]
+
+
+def test_named_modules_includes_root_and_children():
+    tree = Tree()
+    names = [n for n, _ in tree.named_modules()]
+    assert names == ["", "a", "b"]
+
+
+def test_num_parameters():
+    assert Tree().num_parameters() == 8
+
+
+def test_children_iteration():
+    tree = Tree()
+    assert len(list(tree.children())) == 2
+
+
+def test_forward_hook_fires_and_removes():
+    leaf = Leaf()
+    seen = []
+    remove = leaf.register_forward_hook(lambda m, i, o: seen.append(o.copy()))
+    x = np.ones((1, 2))
+    leaf(x)
+    assert len(seen) == 1
+    np.testing.assert_allclose(seen[0], x @ leaf.weight.data)
+    remove()
+    leaf(x)
+    assert len(seen) == 1
+
+
+def test_clear_forward_hooks():
+    leaf = Leaf()
+    leaf.register_forward_hook(lambda m, i, o: None)
+    leaf.clear_forward_hooks()
+    assert leaf._forward_hooks == []
+
+
+def test_forward_not_implemented():
+    with pytest.raises(NotImplementedError):
+        Module()(np.zeros(1))
+
+
+def test_apply_visits_all_modules():
+    tree = Tree()
+    visited = []
+    tree.apply(lambda m: visited.append(type(m).__name__))
+    assert visited == ["Tree", "Leaf", "Leaf"]
+
+
+def test_sequential_order_and_len():
+    seq = Sequential(Linear(4, 8), SiLU(), Linear(8, 2))
+    assert len(seq) == 3
+    out = seq(np.zeros((1, 4)))
+    assert out.shape == (1, 2)
+
+
+def test_register_module_replaces_attribute():
+    tree = Tree()
+    new_leaf = Leaf()
+    tree.register_module("a", new_leaf)
+    assert tree.a is new_leaf
+    assert tree._modules["a"] is new_leaf

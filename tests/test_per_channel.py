@@ -1,0 +1,83 @@
+"""Tests for per-output-channel weight quantization (Q-Diffusion style)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.modes import ExecutionMode
+from repro.nn import Conv2d, Linear
+from repro.quant import QConv2d, QLinear, iter_qlayers, quantize_model
+
+
+def test_qlinear_per_channel_scales_vector(rng):
+    fp = Linear(8, 4, rng=rng)
+    q = QLinear.from_float(fp, per_channel=True)
+    assert np.shape(q.weight_scale) == (4,)
+    # Every channel's quantized weights span the full int8 grid.
+    assert np.abs(q.q_weight).max(axis=1).min() >= 126
+
+
+def test_per_channel_more_accurate_than_per_tensor(rng):
+    """With wildly different channel magnitudes, per-channel must win."""
+    weight = rng.normal(size=(4, 16))
+    weight[0] *= 100.0  # one dominant channel ruins the per-tensor grid
+    fp = Linear(16, 4, rng=rng)
+    fp.weight.data = weight
+    x = rng.normal(size=(8, 16))
+    exact = x @ weight.T + fp.bias.data
+
+    per_tensor = QLinear.from_float(fp, per_channel=False)
+    per_channel = QLinear.from_float(fp, per_channel=True)
+    err_tensor = np.abs(per_tensor(x) - exact).mean()
+    err_channel = np.abs(per_channel(x) - exact).mean()
+    assert err_channel < err_tensor
+
+
+def test_qconv_per_channel_shapes(rng):
+    fp = Conv2d(3, 5, 3, padding=1, rng=rng)
+    q = QConv2d.from_float(fp, per_channel=True)
+    assert np.shape(q.weight_scale) == (5,)
+    out = q(rng.normal(size=(1, 3, 6, 6)))
+    assert out.shape == (1, 5, 6, 6)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 3000))
+def test_per_channel_temporal_exactness(seed):
+    """Difference processing stays bit-exact with per-channel weights."""
+    rng = np.random.default_rng(seed)
+    fp = Conv2d(2, 4, 3, padding=1, rng=rng)
+    q_dense = QConv2d.from_float(fp, per_channel=True)
+    q_temp = QConv2d.from_float(fp, per_channel=True)
+    q_temp.mode = ExecutionMode.TEMPORAL
+    a = rng.normal(size=(1, 2, 6, 6))
+    b = a + rng.normal(0.0, 0.05, size=a.shape)
+    np.testing.assert_array_equal(q_dense(a), q_temp(a))
+    np.testing.assert_array_equal(q_dense(b), q_temp(b))
+
+
+def test_zero_channel_weight_handled():
+    """A dead output channel must not produce a zero scale."""
+    fp = Linear(4, 2)
+    fp.weight.data = np.array([[1.0, -2.0, 0.5, 0.0], [0.0, 0.0, 0.0, 0.0]])
+    q = QLinear.from_float(fp, per_channel=True)
+    assert np.all(np.asarray(q.weight_scale) > 0)
+    out = q(np.ones((1, 4)))
+    assert np.isfinite(out).all()
+
+
+def test_quantize_model_per_channel_flag(rng):
+    from repro.models import UNet
+
+    model = UNet(
+        in_channels=2, base_channels=8, channel_mults=(1,),
+        attention_levels=(0,), block_type="attention",
+        rng=np.random.default_rng(1),
+    )
+    qmodel = quantize_model(model, per_channel_weights=True)
+    layers = [q for _, q in iter_qlayers(qmodel) if isinstance(q, (QLinear, QConv2d))]
+    assert layers
+    assert all(layer.per_channel for layer in layers)
+    out = qmodel(rng.normal(size=(1, 2, 8, 8)), np.array([3.0]))
+    assert out.shape == (1, 2, 8, 8)

@@ -1,0 +1,128 @@
+"""Unit + property tests for the quantization primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant import SymmetricQuantizer, dequantize, qrange, quantize
+
+
+def test_qrange_8bit():
+    assert qrange(8) == (-128, 127)
+    assert qrange(4) == (-8, 7)
+
+
+def test_quantize_produces_integers(rng):
+    x = rng.normal(size=100)
+    q = quantize(x, scale=0.1)
+    assert np.array_equal(q, np.rint(q))
+
+
+def test_quantize_clips_to_range():
+    q = quantize(np.array([1e9, -1e9]), scale=1.0, bits=8)
+    assert q.tolist() == [127.0, -128.0]
+
+
+def test_quantize_rejects_bad_scale():
+    with pytest.raises(ValueError):
+        quantize(np.zeros(3), scale=0.0)
+
+
+def test_dequantize_inverse_scaling():
+    q = np.array([-5.0, 0.0, 7.0])
+    np.testing.assert_allclose(dequantize(q, 0.5), [-2.5, 0.0, 3.5])
+
+
+def test_observe_freeze_covers_range(rng):
+    quant = SymmetricQuantizer(8)
+    quant.observe(rng.normal(size=50) * 3.0)
+    quant.observe(np.array([10.0]))
+    scale = quant.freeze()
+    assert scale == pytest.approx(10.0 / 127.0)
+
+
+def test_freeze_without_observation_defaults():
+    quant = SymmetricQuantizer(8)
+    assert quant.freeze() == pytest.approx(1.0 / 127.0)
+
+
+def test_sticky_scale_frozen_on_first_use(rng):
+    quant = SymmetricQuantizer(8)
+    assert not quant.calibrated
+    quant.quantize(np.array([4.0, -2.0]))
+    first_scale = quant.scale
+    assert quant.calibrated
+    quant.quantize(np.array([100.0]))  # later tensors do not change the scale
+    assert quant.scale == first_scale
+
+
+def test_dequantize_before_calibration_raises():
+    with pytest.raises(RuntimeError):
+        SymmetricQuantizer(8).dequantize(np.zeros(1))
+
+
+def test_minimum_bits():
+    with pytest.raises(ValueError):
+        SymmetricQuantizer(1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    bits=st.sampled_from([4, 8]),
+    peak=st.floats(0.01, 1000.0),
+)
+def test_quantization_error_bound(seed, bits, peak):
+    """|x - dequant(quant(x))| <= scale/2 for in-range values."""
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-peak, peak, size=64)
+    quant = SymmetricQuantizer(bits)
+    quant.observe(x)
+    scale = quant.freeze()
+    err = np.abs(quant.dequantize(quant.quantize(x)) - x)
+    assert err.max() <= scale / 2 + 1e-12
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_quantize_idempotent_on_grid(seed):
+    """Quantizing an already-quantized value is exact (paper Sec. III-B)."""
+    rng = np.random.default_rng(seed)
+    quant = SymmetricQuantizer(8)
+    x = rng.normal(size=32)
+    quant.observe(x)
+    quant.freeze()
+    q = quant.quantize(x)
+    q2 = quant.quantize(quant.dequantize(q))
+    np.testing.assert_array_equal(q, q2)
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_shared_scale_difference_is_integer(seed):
+    """The cornerstone of Ditto: diffs of same-scale quantizations are ints."""
+    rng = np.random.default_rng(seed)
+    quant = SymmetricQuantizer(8)
+    a = rng.normal(size=64)
+    b = a + rng.normal(0.0, 0.05, size=64)
+    quant.observe(a)
+    quant.observe(b)
+    quant.freeze()
+    d = quant.quantize(a) - quant.quantize(b)
+    assert np.array_equal(d, np.rint(d))
+    assert np.abs(d).max() <= 255
+
+
+def test_observe_rejects_non_finite():
+    quant = SymmetricQuantizer(8)
+    with pytest.raises(ValueError):
+        quant.observe(np.array([1.0, np.nan]))
+    with pytest.raises(ValueError):
+        quant.observe(np.array([np.inf]))
+
+
+def test_observe_empty_is_noop():
+    quant = SymmetricQuantizer(8)
+    quant.observe(np.array([]))
+    assert quant.freeze() == pytest.approx(1.0 / 127.0)

@@ -1,0 +1,116 @@
+"""Unit tests for DDIM / DDPM / PLMS samplers."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion import (
+    DDIMSampler,
+    DDPMSampler,
+    DiffusionSchedule,
+    PLMSSampler,
+    make_sampler,
+)
+
+
+@pytest.fixture
+def sched():
+    return DiffusionSchedule(100)
+
+
+def test_ddim_deterministic(sched, rng):
+    sampler = DDIMSampler(sched, 10)
+    x = rng.normal(size=(1, 2, 4, 4))
+    eps = rng.normal(size=x.shape)
+    a = sampler.step(eps, 0, x)
+    b = sampler.step(eps, 0, x)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_ddim_perfect_eps_recovers_x0(sched, rng):
+    """If the model predicts the true noise, DDIM's final x is exactly x0."""
+    sampler = DDIMSampler(sched, 10)
+    x0 = rng.normal(size=(1, 2, 4, 4))
+    t = int(sampler.timesteps[-1])  # last inference step jumps to a_bar=1
+    a = sched.alpha_bar(t)
+    eps = rng.normal(size=x0.shape)
+    xt = np.sqrt(a) * x0 + np.sqrt(1 - a) * eps
+    x_prev = sampler.step(eps, len(sampler.timesteps) - 1, xt)
+    np.testing.assert_allclose(x_prev, x0, rtol=1e-10)
+
+
+def test_ddim_eta_requires_rng(sched, rng):
+    sampler = DDIMSampler(sched, 10, eta=0.5)
+    x = rng.normal(size=(1, 2, 2, 2))
+    with pytest.raises(ValueError):
+        sampler.step(x, 0, x, rng=None)
+    out = sampler.step(x, 0, x, rng=rng)
+    assert out.shape == x.shape
+
+
+def test_ddpm_requires_rng(sched, rng):
+    sampler = DDPMSampler(sched, 10)
+    x = rng.normal(size=(1, 2, 2, 2))
+    with pytest.raises(ValueError):
+        sampler.step(x, 0, x)
+
+
+def test_ddpm_final_step_is_mean(sched, rng):
+    """The jump to t=0 adds no noise: two rngs give identical results."""
+    sampler = DDPMSampler(sched, 10)
+    x = rng.normal(size=(1, 2, 2, 2))
+    eps = rng.normal(size=x.shape)
+    last = len(sampler.timesteps) - 1
+    a = sampler.step(eps, last, x, rng=np.random.default_rng(1))
+    b = sampler.step(eps, last, x, rng=np.random.default_rng(2))
+    np.testing.assert_array_equal(a, b)
+
+
+def test_plms_history_accumulates(sched, rng):
+    sampler = PLMSSampler(sched, 10)
+    x = rng.normal(size=(1, 2, 2, 2))
+    for i in range(5):
+        x = sampler.step(rng.normal(size=x.shape), i, x)
+    assert len(sampler._history) == 4  # window caps at 4
+
+
+def test_plms_reset_clears_history(sched, rng):
+    sampler = PLMSSampler(sched, 10)
+    sampler.step(rng.normal(size=(1, 2)), 0, rng.normal(size=(1, 2)))
+    sampler.reset()
+    assert len(sampler._history) == 0
+
+
+def test_plms_extra_model_call_at_first_step(sched):
+    sampler = PLMSSampler(sched, 10)
+    assert sampler.model_calls_for_step(0) == 2
+    assert sampler.model_calls_for_step(1) == 1
+
+
+def test_plms_warmup_uses_model_fn(sched, rng):
+    sampler = PLMSSampler(sched, 10)
+    calls = []
+
+    def fake_model(x, t):
+        calls.append(t)
+        return np.zeros_like(x)
+
+    sampler.model_fn = fake_model
+    x = rng.normal(size=(1, 2, 2, 2))
+    sampler.step(rng.normal(size=x.shape), 0, x)
+    assert len(calls) == 1  # the pseudo improved-Euler extra evaluation
+
+
+def test_prev_timestep_chain(sched):
+    sampler = DDIMSampler(sched, 4)
+    steps = sampler.timesteps
+    for i in range(len(steps) - 1):
+        assert sampler.prev_timestep(i) == steps[i + 1]
+    assert sampler.prev_timestep(len(steps) - 1) == -1
+
+
+def test_make_sampler_factory(sched):
+    assert isinstance(make_sampler("ddim", sched, 5), DDIMSampler)
+    assert isinstance(make_sampler("ddpm", sched, 5), DDPMSampler)
+    assert isinstance(make_sampler("plms", sched, 5), PLMSSampler)
+    with pytest.raises(ValueError):
+        make_sampler("euler", sched, 5)

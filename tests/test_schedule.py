@@ -1,0 +1,91 @@
+"""Unit + property tests for diffusion schedules and the forward process."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diffusion import DiffusionSchedule
+
+
+def test_linear_schedule_endpoints():
+    sched = DiffusionSchedule(100, beta_start=1e-4, beta_end=2e-2)
+    assert sched.betas[0] == pytest.approx(1e-4)
+    assert sched.betas[-1] == pytest.approx(2e-2)
+
+
+def test_alphas_cumprod_monotone_decreasing():
+    sched = DiffusionSchedule(200)
+    diffs = np.diff(sched.alphas_cumprod)
+    assert (diffs < 0).all()
+    assert 0.0 < sched.alphas_cumprod[-1] < sched.alphas_cumprod[0] < 1.0
+
+
+def test_cosine_schedule_valid():
+    sched = DiffusionSchedule(100, kind="cosine")
+    assert (sched.betas > 0).all()
+    assert (sched.betas <= 0.999).all()
+
+
+def test_unknown_schedule_kind():
+    with pytest.raises(ValueError):
+        DiffusionSchedule(10, kind="exp")
+
+
+def test_too_few_steps_rejected():
+    with pytest.raises(ValueError):
+        DiffusionSchedule(1)
+
+
+def test_alpha_bar_clean_limit():
+    sched = DiffusionSchedule(50)
+    assert sched.alpha_bar(-1) == 1.0
+    assert sched.alpha_bar(0) == pytest.approx(float(sched.alphas_cumprod[0]))
+
+
+def test_add_noise_statistics(rng):
+    sched = DiffusionSchedule(100)
+    x0 = np.zeros((4, 3, 8, 8))
+    xt, eps = sched.add_noise(x0, t=99, rng=rng)
+    # At the last step x_t is nearly pure noise.
+    assert xt.std() == pytest.approx(np.sqrt(1 - sched.alpha_bar(99)), rel=0.1)
+    assert eps.shape == x0.shape
+
+
+def test_add_noise_reconstruction(rng):
+    """x_t must equal sqrt(a)x0 + sqrt(1-a)eps exactly."""
+    sched = DiffusionSchedule(100)
+    x0 = rng.normal(size=(1, 2, 4, 4))
+    t = 42
+    xt, eps = sched.add_noise(x0, t, rng=rng)
+    a = sched.alpha_bar(t)
+    np.testing.assert_allclose(xt, np.sqrt(a) * x0 + np.sqrt(1 - a) * eps, rtol=1e-12)
+
+
+def test_spaced_timesteps_descending():
+    sched = DiffusionSchedule(100)
+    steps = sched.spaced_timesteps(10)
+    assert len(steps) == 10
+    assert (np.diff(steps) < 0).all()
+    assert steps[-1] == 0
+
+
+def test_spaced_timesteps_bounds():
+    sched = DiffusionSchedule(100)
+    with pytest.raises(ValueError):
+        sched.spaced_timesteps(0)
+    with pytest.raises(ValueError):
+        sched.spaced_timesteps(101)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    train=st.integers(10, 500),
+    num=st.integers(1, 10),
+)
+def test_spaced_timesteps_property(train, num):
+    sched = DiffusionSchedule(train)
+    steps = sched.spaced_timesteps(min(num, train))
+    assert steps.min() >= 0
+    assert steps.max() < train
+    assert len(set(steps.tolist())) == len(steps)

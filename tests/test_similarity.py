@@ -1,0 +1,116 @@
+"""Unit tests for the similarity / value-range analytics (Figs. 3-4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ActivationCapture,
+    cosine,
+    similarity_report,
+    spatial_similarity,
+    temporal_similarity,
+    value_ranges,
+)
+from repro.core.similarity import _spatial_pairs
+from repro.nn import Conv2d, Linear, Module, SiLU
+
+
+def test_cosine_identical():
+    x = np.array([1.0, 2.0, 3.0])
+    assert cosine(x, x) == pytest.approx(1.0)
+
+
+def test_cosine_orthogonal():
+    assert cosine(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == pytest.approx(0.0)
+
+
+def test_cosine_opposite():
+    x = np.array([1.0, -2.0])
+    assert cosine(x, -x) == pytest.approx(-1.0)
+
+
+def test_cosine_zero_vectors():
+    z = np.zeros(3)
+    assert cosine(z, z) == 1.0
+    assert cosine(z, np.ones(3)) == 0.0
+
+
+def test_temporal_similarity_high_for_drift(rng):
+    base = rng.normal(size=(1, 4, 8))
+    history = {"layer": [base, base + 0.01 * rng.normal(size=base.shape)]}
+    sims = temporal_similarity(history)
+    assert sims["layer"][0] > 0.99
+
+
+def test_temporal_similarity_skips_shape_changes(rng):
+    history = {"layer": [rng.normal(size=(1, 4)), rng.normal(size=(2, 4))]}
+    assert temporal_similarity(history) == {}
+
+
+def test_spatial_pairs_smooth_vs_noise(rng):
+    smooth = np.tile(rng.normal(size=(1, 8, 1, 1)), (1, 1, 6, 6))
+    noisy = rng.normal(size=(1, 8, 6, 6))
+    assert _spatial_pairs(smooth) == pytest.approx(1.0)
+    assert _spatial_pairs(noisy) < 0.5
+
+
+def test_spatial_pairs_token_input(rng):
+    tokens = np.tile(rng.normal(size=(1, 1, 16)), (1, 5, 1))
+    assert _spatial_pairs(tokens) == pytest.approx(1.0)
+
+
+def test_spatial_pairs_single_row_is_nan(rng):
+    assert np.isnan(_spatial_pairs(rng.normal(size=(1, 8))))
+
+
+def test_value_ranges_ratio(rng):
+    base = rng.normal(size=(1, 100))
+    history = {"layer": [base, base + 0.01, base + 0.02]}
+    ranges = value_ranges(history)["layer"]
+    assert ranges["difference_range"] < ranges["activation_range"]
+    assert ranges["ratio"] > 1.0
+
+
+class TwoLayer(Module):
+    def __init__(self):
+        super().__init__()
+        rng = np.random.default_rng(0)
+        self.conv = Conv2d(2, 4, 3, padding=1, rng=rng)
+        self.act = SiLU()
+        self.fc = Linear(4, 4, rng=rng)
+
+    def forward(self, x):
+        h = self.act(self.conv(x)).mean(axis=(2, 3))
+        return self.fc(h)
+
+
+def test_activation_capture_collects_per_layer(rng):
+    model = TwoLayer()
+    with ActivationCapture(model) as capture:
+        model(rng.normal(size=(1, 2, 6, 6)))
+        model(rng.normal(size=(1, 2, 6, 6)))
+    assert set(capture.activations) == {"conv", "fc"}
+    assert len(capture.activations["conv"]) == 2
+
+
+def test_capture_removes_hooks_on_exit(rng):
+    model = TwoLayer()
+    with ActivationCapture(model) as capture:
+        model(rng.normal(size=(1, 2, 6, 6)))
+    model(rng.normal(size=(1, 2, 6, 6)))
+    assert len(capture.activations["conv"]) == 1
+
+
+def test_similarity_report_aggregates(rng):
+    model = TwoLayer()
+    x = rng.normal(size=(1, 2, 6, 6))
+
+    def run():
+        model(x)
+        model(x + 0.01 * rng.normal(size=x.shape))
+
+    report = similarity_report("demo", model, run)
+    assert report.avg_temporal > 0.9
+    assert np.isfinite(report.avg_spatial)
+    assert report.avg_range_ratio > 1.0
+    assert "demo" in report.summary()

@@ -1,0 +1,87 @@
+"""Unit tests for the similarity-drift transform (Fig. 19 support)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bitwidth import BitWidthStats
+from repro.core.synthetic import apply_similarity_drift, degrade_stats
+from repro.core.trace import RichTrace
+
+from .test_trace import make_rich
+
+
+def test_degrade_zero_severity_is_identity():
+    stats = BitWidthStats(total=100, zero=40, low=50, high=10)
+    assert degrade_stats(stats, 0.0) == stats
+
+
+def test_degrade_full_severity_all_high():
+    stats = BitWidthStats(total=100, zero=40, low=50, high=10)
+    collapsed = degrade_stats(stats, 1.0)
+    assert collapsed.zero == 0
+    assert collapsed.low == 0
+    assert collapsed.high == 100
+
+
+def test_degrade_preserves_total():
+    stats = BitWidthStats(total=97, zero=13, low=61, high=23)
+    for severity in (0.1, 0.37, 0.5, 0.9):
+        out = degrade_stats(stats, severity)
+        assert out.total == 97
+        assert out.zero + out.low + out.high == 97
+
+
+def test_degrade_rejects_bad_severity():
+    stats = BitWidthStats(total=10, zero=5, low=3, high=2)
+    with pytest.raises(ValueError):
+        degrade_stats(stats, -0.1)
+    with pytest.raises(ValueError):
+        degrade_stats(stats, 1.5)
+
+
+def _trace(num_steps=8):
+    trace = RichTrace()
+    for s in range(num_steps):
+        trace.append(make_rich(step_index=s, temporal=s > 0))
+    return trace
+
+
+def test_drift_periodic_shape():
+    trace = _trace(9)
+    drifted = apply_similarity_drift(trace, period=4, strength=1.0)
+    highs = [
+        r.stats_temporal.high
+        for r in drifted
+        if r.stats_temporal is not None
+    ]
+    # sin^2 drift: zero at period boundaries (steps 4, 8), max mid-period.
+    by_step = {r.step_index: r for r in drifted if r.stats_temporal is not None}
+    assert by_step[4].stats_temporal.high == by_step[8].stats_temporal.high
+    assert by_step[2].stats_temporal.high > by_step[4].stats_temporal.high
+
+
+def test_drift_leaves_first_step_alone():
+    trace = _trace(4)
+    drifted = apply_similarity_drift(trace, period=2)
+    assert drifted.steps[0].stats_temporal is None
+
+
+def test_drift_does_not_mutate_original():
+    trace = _trace(4)
+    before = [r.stats_temporal for r in trace]
+    apply_similarity_drift(trace, period=2, strength=1.0)
+    after = [r.stats_temporal for r in trace]
+    assert before == after
+
+
+def test_drift_custom_phase_fn():
+    trace = _trace(5)
+    drifted = apply_similarity_drift(trace, phase_fn=lambda step: 1.0)
+    for rich in drifted:
+        if rich.stats_temporal is not None:
+            assert rich.stats_temporal.zero == 0
+
+
+def test_drift_rejects_bad_period():
+    with pytest.raises(ValueError):
+        apply_similarity_drift(_trace(3), period=1)

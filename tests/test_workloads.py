@@ -1,0 +1,110 @@
+"""Unit tests for datasets, prompts, and the Table I suite definition."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    COCO_STYLE_PROMPTS,
+    DATASETS,
+    SUITE,
+    benchmark_names,
+    get_benchmark,
+    sample_prompts,
+    synthetic_images,
+    synthetic_video,
+)
+
+
+def test_suite_has_all_seven_benchmarks():
+    assert benchmark_names() == ["DDPM", "BED", "CHUR", "IMG", "SDM", "DiT", "Latte"]
+
+
+def test_suite_samplers_match_table_i():
+    assert SUITE["DDPM"].sampler == "ddim"
+    assert SUITE["SDM"].sampler == "plms"
+    assert all(SUITE[n].sampler == "ddim" for n in ("BED", "CHUR", "IMG", "DiT", "Latte"))
+
+
+def test_suite_paper_step_counts():
+    expected = {"DDPM": 100, "BED": 200, "CHUR": 200, "IMG": 20,
+                "SDM": 50, "DiT": 250, "Latte": 20}
+    for name, steps in expected.items():
+        assert SUITE[name].paper_steps == steps
+
+
+def test_suite_step_ordering_preserved():
+    """Scaled steps preserve the paper's relative ordering extremes."""
+    scaled = {n: SUITE[n].num_steps for n in SUITE}
+    assert scaled["DiT"] == max(scaled.values())
+    assert scaled["DDPM"] <= SUITE["DDPM"].paper_steps
+
+
+def test_conditioning_builders():
+    assert SUITE["DDPM"].build_conditioning() is None
+    img_cond = SUITE["IMG"].build_conditioning()
+    assert img_cond["context"].ndim == 3
+    sdm_cond = SUITE["SDM"].build_conditioning()
+    assert sdm_cond["context"].shape[1] == 8  # token count
+    assert "y" in SUITE["DiT"].build_conditioning()
+
+
+def test_models_buildable_and_match_shapes():
+    for name in ("DDPM", "DiT"):
+        spec = SUITE[name]
+        model = spec.build_model()
+        cond = spec.build_conditioning() or {}
+        x = np.random.default_rng(0).standard_normal((1,) + spec.sample_shape)
+        out = model(x, np.array([5.0]), **cond)
+        assert out.shape == x.shape
+
+
+def test_video_flag_only_latte():
+    assert SUITE["Latte"].is_video
+    assert all(not SUITE[n].is_video for n in SUITE if n != "Latte")
+
+
+def test_synthetic_images_properties():
+    imgs = synthetic_images("cifar10", 8, seed=3)
+    assert imgs.shape == (8, 3, 16, 16)
+    assert np.abs(imgs).max() <= 1.0
+    # Deterministic per seed.
+    np.testing.assert_array_equal(imgs, synthetic_images("cifar10", 8, seed=3))
+    assert not np.allclose(imgs, synthetic_images("cifar10", 8, seed=4))
+
+
+def test_synthetic_images_are_spatially_smooth():
+    """Unlike white noise, neighbouring pixels must correlate."""
+    imgs = synthetic_images("lsun_bedroom", 4, seed=0)
+    corr = np.mean(imgs[..., :-1] * imgs[..., 1:]) / np.mean(imgs ** 2)
+    assert corr > 0.5
+
+
+def test_synthetic_video_shape_and_drift():
+    clips = synthetic_video("ucf101", 2, seed=1)
+    assert clips.shape == (2, 4, 3, 32, 32)
+    # Adjacent frames are similar but not identical.
+    f0, f1 = clips[0, 0], clips[0, 1]
+    assert not np.array_equal(f0, f1)
+    cos = np.sum(f0 * f1) / (np.linalg.norm(f0) * np.linalg.norm(f1))
+    assert cos > 0.7
+
+
+def test_video_dataset_guards():
+    with pytest.raises(ValueError):
+        synthetic_images("ucf101", 2)
+    with pytest.raises(ValueError):
+        synthetic_video("cifar10", 2)
+
+
+def test_prompts_cycle_and_lead_with_paper_example():
+    assert "vase" in COCO_STYLE_PROMPTS[0]
+    many = sample_prompts(len(COCO_STYLE_PROMPTS) + 2)
+    assert many[0] == many[len(COCO_STYLE_PROMPTS)]
+    with pytest.raises(ValueError):
+        sample_prompts(-1)
+
+
+def test_dataset_registry_shapes():
+    assert DATASETS["cifar10"].image_shape == (3, 16, 16)
+    assert DATASETS["ucf101"].is_video
+    assert DATASETS["imagenet"].num_classes == 10

@@ -1,0 +1,78 @@
+"""Unit tests for the model zoo builders."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    build_conditional_unet,
+    build_ddpm_unet,
+    build_dit,
+    build_latent_unet,
+    build_latte,
+    build_text_encoder,
+    build_vae,
+)
+from repro.nn.io import state_dict
+
+
+@pytest.mark.parametrize(
+    "builder",
+    [build_ddpm_unet, build_latent_unet, build_conditional_unet,
+     build_dit, build_latte, build_vae, build_text_encoder],
+)
+def test_builders_deterministic_per_seed(builder):
+    a = state_dict(builder())
+    b = state_dict(builder())
+    assert set(a) == set(b)
+    for name in a:
+        np.testing.assert_array_equal(a[name], b[name], err_msg=name)
+
+
+def test_different_seeds_differ():
+    a = state_dict(build_latent_unet(seed=2))
+    b = state_dict(build_latent_unet(seed=12))
+    assert any(not np.allclose(a[k], b[k]) for k in a)
+
+
+def test_parameter_counts_reasonable():
+    """Scaled models: big enough to be interesting, small enough for numpy."""
+    for builder, low, high in [
+        (build_ddpm_unet, 50_000, 2_000_000),
+        (build_conditional_unet, 50_000, 2_000_000),
+        (build_dit, 100_000, 20_000_000),
+        (build_latte, 100_000, 20_000_000),
+    ]:
+        count = builder().num_parameters()
+        assert low <= count <= high, (builder.__name__, count)
+
+
+def test_dit_larger_than_unets():
+    """DiT-XL is the paper's biggest model; the scaled zoo preserves that."""
+    assert build_dit().num_parameters() > build_ddpm_unet().num_parameters()
+
+
+def test_conditional_unet_has_cross_attention():
+    from repro.nn import Attention
+
+    model = build_conditional_unet()
+    cross = [
+        m for _, m in model.named_modules()
+        if isinstance(m, Attention) and m.is_cross
+    ]
+    assert cross, "IMG/SDM model must contain cross attention"
+
+
+def test_ddpm_unet_has_no_cross_attention():
+    from repro.nn import Attention
+
+    model = build_ddpm_unet()
+    assert all(
+        not m.is_cross
+        for _, m in model.named_modules()
+        if isinstance(m, Attention)
+    )
+
+
+def test_latte_has_temporal_blocks():
+    model = build_latte()
+    assert len(model.temporal_blocks) == len(model.spatial_blocks) >= 1
