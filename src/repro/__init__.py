@@ -29,5 +29,6 @@ __all__ = [
     "workloads",
     "analysis",
     "export",
+    "runtime",
     "cli",
 ]

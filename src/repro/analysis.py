@@ -110,22 +110,23 @@ def run_study(
     designs: Optional[List[DesignPoint]] = None,
     seed: int = 0,
     step_clusters: int = 1,
+    engine_result: Optional[EngineResult] = None,
 ) -> BenchmarkStudy:
-    """Run one benchmark end to end and evaluate the hardware designs."""
+    """Run one benchmark end to end and evaluate the hardware designs.
+
+    ``engine_result`` short-circuits the expensive engine construction and
+    instrumented run: pass a result produced (and possibly cached) by
+    :class:`repro.runtime.EngineRunner` and only the hardware-design
+    post-processing is performed.
+    """
     spec = get_benchmark(benchmark)
-    if step_clusters > 1:
-        engine = DittoEngine.from_model(
-            spec.build_model(),
-            sampler_name=spec.sampler,
-            num_steps=num_steps or spec.num_steps,
-            sample_shape=spec.sample_shape,
-            conditioning=spec.build_conditioning(),
-            step_clusters=step_clusters,
-            benchmark=spec.name,
-        )
+    if engine_result is not None:
+        result = engine_result
     else:
-        engine = DittoEngine.from_benchmark(spec, num_steps=num_steps)
-    result = engine.run(seed=seed)
+        engine = DittoEngine.from_benchmark(
+            spec, num_steps=num_steps, step_clusters=step_clusters
+        )
+        result = engine.run(seed=seed)
     design_results = evaluate_designs(designs or FIG13_DESIGNS, result.rich_trace)
     return BenchmarkStudy(
         benchmark=spec.name,

@@ -12,6 +12,13 @@ Commands
     FP32 activation-similarity analysis (paper Figs. 3-4).
 ``sweep``
     Run every benchmark and print the Fig. 13-style summary matrix.
+``cache info|clear``
+    Inspect or reclaim the on-disk result cache.
+
+``run``, ``similarity`` and ``sweep`` accept ``--cache``/``--no-cache`` and
+``--cache-dir DIR`` (content-addressed on-disk reuse of results, see
+:mod:`repro.runtime`); ``sweep`` additionally accepts ``--jobs N``
+(process-pool engine construction).
 """
 
 from __future__ import annotations
@@ -24,9 +31,39 @@ import numpy as np
 
 from . import __version__
 from .analysis import format_table, run_study
-from .core import similarity_report
-from .diffusion import DiffusionSchedule, GenerationPipeline, make_sampler
-from .workloads import SUITE, get_benchmark
+from .runtime import EngineRunner, ResultCache, default_cache_dir
+from .workloads import SUITE
+
+
+def _add_runtime_flags(
+    parser: argparse.ArgumentParser, jobs: bool = True
+) -> None:
+    if jobs:
+        parser.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help="build benchmark engines across N worker processes",
+        )
+    cache_group = parser.add_mutually_exclusive_group()
+    cache_group.add_argument(
+        "--cache", dest="cache", action="store_true", default=True,
+        help="reuse/populate the on-disk engine-result cache (default)",
+    )
+    cache_group.add_argument(
+        "--no-cache", dest="cache", action="store_false",
+        help="always rebuild engines, never touch the cache",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache location (default: $REPRO_CACHE_DIR or ~/.cache/ditto-repro)",
+    )
+
+
+def _make_runner(args: argparse.Namespace) -> EngineRunner:
+    return EngineRunner(
+        jobs=getattr(args, "jobs", 1),
+        cache=args.cache,
+        cache_dir=args.cache_dir,
+    )
 
 __all__ = ["main", "build_parser"]
 
@@ -49,12 +86,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--clusters", type=int, default=1,
         help="timestep-clustered quantization (TDQ synergy); 1 = global scale",
     )
+    # A single-benchmark run builds one engine, so --jobs has nothing to
+    # parallelize; only the cache flags apply.
+    _add_runtime_flags(run_p, jobs=False)
 
     sim_p = sub.add_parser("similarity", help="Fig. 3/4 similarity analysis")
     sim_p.add_argument("benchmark", choices=list(SUITE))
     sim_p.add_argument("--steps", type=int, default=12)
+    _add_runtime_flags(sim_p, jobs=False)
 
-    sub.add_parser("sweep", help="run all benchmarks (Fig. 13 summary)")
+    sweep_p = sub.add_parser("sweep", help="run all benchmarks (Fig. 13 summary)")
+    _add_runtime_flags(sweep_p)
+
+    cache_p = sub.add_parser("cache", help="inspect or clear the result cache")
+    cache_p.add_argument("action", choices=["info", "clear"])
+    cache_p.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache location (default: $REPRO_CACHE_DIR or ~/.cache/ditto-repro)",
+    )
     return parser
 
 
@@ -71,29 +120,27 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    study = run_study(
+    runner = _make_runner(args)
+    result = runner.run_benchmark(
         args.benchmark,
         num_steps=args.steps,
-        seed=args.seed,
         step_clusters=args.clusters,
+        seed=args.seed,
     )
+    study = run_study(args.benchmark, engine_result=result)
     print(study.summary())
     print("\nBOPs (paper Fig. 6):")
     print(study.bops_table())
     print("\nHardware (paper Fig. 13, normalized to ITC):")
     print(study.hardware_table())
+    if args.cache:
+        print(f"\n[{runner.stats.summary()}]")
     return 0
 
 
 def _cmd_similarity(args: argparse.Namespace) -> int:
-    spec = get_benchmark(args.benchmark)
-    model = spec.build_model()
-    sampler = make_sampler(spec.sampler, DiffusionSchedule(1000), args.steps)
-    pipeline = GenerationPipeline(
-        model, sampler, spec.sample_shape, spec.build_conditioning()
-    )
-    rng = np.random.default_rng(1)
-    report = similarity_report(spec.name, model, lambda: pipeline.generate(1, rng))
+    runner = _make_runner(args)
+    report = runner.similarity(args.benchmark, num_steps=args.steps)
     print(report.summary())
     rows = sorted(
         (
@@ -106,13 +153,17 @@ def _cmd_similarity(args: argparse.Namespace) -> int:
     if len(rows) > 24:
         rows = rows[:12] + [("...", float("nan"), float("nan"))] + rows[-12:]
     print(format_table(["layer", "temporal", "spatial"], rows))
+    if args.cache:
+        print(f"\n[{runner.stats.summary()}]")
     return 0
 
 
-def _cmd_sweep() -> int:
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    runner = _make_runner(args)
+    results = runner.run_suite()
     rows = []
     for name in SUITE:
-        study = run_study(name)
+        study = run_study(name, engine_result=results[name])
         itc = study.design_results["ITC"].report
         ditto = study.design_results["Ditto"].report
         ditto_plus = study.design_results["Ditto+"].report
@@ -128,6 +179,20 @@ def _cmd_sweep() -> int:
     print(format_table(
         ["bench", "Ditto spd", "Ditto energy", "Ditto+ spd", "Defo chg%"], rows
     ))
+    if args.cache:
+        print(f"\n[{runner.stats.summary()}]")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir or default_cache_dir())
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} entries from {cache.cache_dir}")
+        return 0
+    print(f"dir:     {cache.cache_dir}")
+    print(f"entries: {cache.entry_count()}")
+    print(f"size:    {cache.size_bytes() / 1e6:.1f} MB")
     return 0
 
 
@@ -140,7 +205,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "similarity":
         return _cmd_similarity(args)
     if args.command == "sweep":
-        return _cmd_sweep()
+        return _cmd_sweep(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

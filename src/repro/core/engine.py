@@ -105,7 +105,6 @@ class DittoEngine:
         rng = np.random.default_rng(calibration_seed)
         if step_clusters > 1:
             from ..quant.calibration import calibrate_model_clustered
-            from ..quant.tdq import set_active_step
 
             calls = [0]
             original_predict = pipeline.predict_noise
@@ -146,6 +145,8 @@ class DittoEngine:
         spec,
         num_steps: Optional[int] = None,
         calibrate: bool = True,
+        calibration_seed: int = 11,
+        step_clusters: int = 1,
     ) -> "DittoEngine":
         """Build an engine from a Table I :class:`BenchmarkSpec`."""
         fp_model = spec.build_model()
@@ -158,6 +159,8 @@ class DittoEngine:
             conditioning=conditioning,
             calibrate=calibrate,
             benchmark=spec.name,
+            calibration_seed=calibration_seed,
+            step_clusters=step_clusters,
         )
 
     # -- static analysis -----------------------------------------------------

@@ -9,6 +9,9 @@ archived, compared across runs, or post-processed outside this library.
 from __future__ import annotations
 
 import json
+import os
+import pickle
+import tempfile
 from pathlib import Path
 from typing import Dict, Union
 
@@ -24,6 +27,8 @@ __all__ = [
     "hardware_report_to_dict",
     "defo_report_to_dict",
     "dump_json",
+    "dump_pickle",
+    "load_pickle",
 ]
 
 PathLike = Union[str, Path]
@@ -103,3 +108,31 @@ def dump_json(payload: Dict[str, object], path: PathLike) -> None:
     """Write a payload produced by the ``*_to_dict`` helpers to disk."""
     with open(str(path), "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
+
+
+def dump_pickle(obj: object, path: PathLike) -> None:
+    """Atomically pickle ``obj`` to ``path`` (parent dirs created).
+
+    Used by the runtime result cache: write-to-temp + ``os.replace`` means a
+    concurrent reader never observes a half-written entry, and two writers
+    racing on the same key both leave a complete pickle behind.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            pickle.dump(obj, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp_name, str(path))
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def load_pickle(path: PathLike) -> object:
+    """Load a pickle written by :func:`dump_pickle`."""
+    with open(str(path), "rb") as fh:
+        return pickle.load(fh)

@@ -1,0 +1,37 @@
+"""Parallel, cached execution runtime for the reproduction.
+
+Public surface:
+
+* :class:`EngineRunner` - process-pool fan-out of benchmark engine runs
+  with a shared content-addressed result cache,
+* :class:`ResultCache` / :class:`CacheStats` - the on-disk store,
+* :func:`engine_key` / :func:`similarity_key` / :func:`stable_hash` /
+  :func:`code_fingerprint` - stable cache-key construction.
+"""
+
+from .cache import CacheStats, ResultCache, default_cache_dir
+from .hashing import (
+    CACHE_SCHEMA_VERSION,
+    callable_fingerprint,
+    code_fingerprint,
+    engine_key,
+    similarity_key,
+    spec_signature,
+    stable_hash,
+)
+from .runner import SIMILARITY_MAX_STEPS, EngineRunner
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CacheStats",
+    "EngineRunner",
+    "ResultCache",
+    "SIMILARITY_MAX_STEPS",
+    "callable_fingerprint",
+    "code_fingerprint",
+    "default_cache_dir",
+    "engine_key",
+    "similarity_key",
+    "spec_signature",
+    "stable_hash",
+]

@@ -67,6 +67,30 @@ class BenchmarkSpec:
             f"{self.sampler} x{self.num_steps})"
         )
 
+    def signature(self) -> Dict[str, object]:
+        """Stable, hashable identity for the runtime result cache.
+
+        Callables are identified by module-qualified name plus a hash of
+        their source (see :func:`repro.runtime.hashing.callable_fingerprint`),
+        so editing a builder - even one defined outside the ``repro``
+        package - invalidates cached results, while the signature stays
+        identical across processes and sessions.
+        """
+        from ..runtime.hashing import callable_fingerprint
+
+        return {
+            "name": self.name,
+            "dataset": self.dataset,
+            "sampler": self.sampler,
+            "num_steps": self.num_steps,
+            "paper_steps": self.paper_steps,
+            "sample_shape": list(self.sample_shape),
+            "latent": self.latent,
+            "is_video": self.is_video,
+            "build_model": callable_fingerprint(self.build_model),
+            "build_conditioning": callable_fingerprint(self.build_conditioning),
+        }
+
 
 SUITE: Dict[str, BenchmarkSpec] = {
     "DDPM": BenchmarkSpec(

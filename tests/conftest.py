@@ -3,8 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.core import DittoEngine
 from repro.diffusion import DiffusionSchedule
+
+from helpers import make_tiny_engine
 
 
 @pytest.fixture
@@ -15,36 +16,6 @@ def rng():
 @pytest.fixture
 def schedule():
     return DiffusionSchedule(num_train_steps=100)
-
-
-def make_tiny_engine(
-    sampler: str = "ddim",
-    num_steps: int = 4,
-    block_type: str = "attention",
-    calibrate: bool = False,
-    seed: int = 5,
-):
-    """A fast DittoEngine over a miniature UNet (for integration tests)."""
-    from repro.models import UNet
-
-    model = UNet(
-        in_channels=2,
-        base_channels=8,
-        channel_mults=(1, 2),
-        num_res_blocks=1,
-        attention_levels=(1,),
-        block_type=block_type,
-        rng=np.random.default_rng(seed),
-    )
-    return DittoEngine.from_model(
-        model,
-        sampler_name=sampler,
-        num_steps=num_steps,
-        sample_shape=(2, 8, 8),
-        num_train_steps=100,
-        calibrate=calibrate,
-        benchmark="tiny",
-    )
 
 
 @pytest.fixture(scope="session")

@@ -7,7 +7,7 @@ from repro.core.bitwidth import BitWidthStats
 from repro.core.bops import bops_per_mac, dense_bops_reference, layer_bops, trace_bops
 from repro.core.trace import Trace
 
-from .test_trace import make_rich
+from helpers import make_rich
 from repro.core.trace import derive_layer_step
 
 

@@ -66,6 +66,12 @@ def test_run_study_with_clusters():
 
 # -- CLI ---------------------------------------------------------------------
 
+@pytest.fixture(autouse=True)
+def isolated_cache_dir(tmp_path, monkeypatch):
+    """Keep cache-on-by-default CLI invocations away from the user's cache."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])

@@ -6,7 +6,7 @@ import pytest
 from repro.core import DittoEngine, ExecutionMode
 from repro.workloads import get_benchmark
 
-from .conftest import make_tiny_engine
+from helpers import make_tiny_engine
 
 
 def test_engine_result_summary(tiny_engine_result):

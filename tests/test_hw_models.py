@@ -16,7 +16,7 @@ from repro.hw import (
     get_config,
 )
 
-from .test_trace import make_rich
+from helpers import make_rich
 
 
 def lowered(mode=ExecutionMode.TEMPORAL, **kwargs):

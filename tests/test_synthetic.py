@@ -7,7 +7,7 @@ from repro.core.bitwidth import BitWidthStats
 from repro.core.synthetic import apply_similarity_drift, degrade_stats
 from repro.core.trace import RichTrace
 
-from .test_trace import make_rich
+from helpers import make_rich
 
 
 def test_degrade_zero_severity_is_identity():

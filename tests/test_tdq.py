@@ -14,7 +14,7 @@ from repro.quant.calibration import calibrate_model_clustered
 from repro.nn import Linear
 from repro.quant.qlayers import QLinear
 
-from .conftest import make_tiny_engine
+from helpers import make_tiny_engine
 
 
 @pytest.fixture(autouse=True)

@@ -2,37 +2,10 @@
 
 import pytest
 
-from repro.core import ExecutionMode, RichLayerStep, RichTrace, derive_layer_step
-from repro.core.bitwidth import BitWidthStats
+from repro.core import ExecutionMode, RichTrace, derive_layer_step
 from repro.core.trace import ACT_BYTES, STATE_BYTES, Trace, TraceRecorder
 
-
-def make_rich(
-    step_index=0,
-    name="layer",
-    temporal=True,
-    chained=False,
-    producer="other",
-    sub_ops=1,
-):
-    stats = BitWidthStats(total=100, zero=40, low=50, high=10)
-    return RichLayerStep(
-        step_index=step_index,
-        layer_name=name,
-        kind="conv",
-        macs=10_000,
-        in_elems=100,
-        out_elems=200,
-        weight_elems=50,
-        data_elems=100,
-        stats_dense=BitWidthStats(total=100, zero=5, low=35, high=60),
-        stats_spatial=BitWidthStats(total=100, zero=10, low=40, high=50),
-        stats_temporal=stats if temporal else None,
-        sub_ops_temporal=sub_ops,
-        vpu_elems=200,
-        chained_input=chained,
-        producer_kind=producer,
-    )
+from helpers import make_rich
 
 
 def test_dense_lowering_bytes():
