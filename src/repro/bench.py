@@ -1,0 +1,158 @@
+"""``repro bench`` - machine-readable performance measurements.
+
+Times the cold path (``DittoEngine.from_benchmark(...).run()``: quantize +
+calibrate + instrumented generation) and the warm path (loading the same
+:class:`~repro.core.engine.EngineResult` back from the content-addressed
+result cache) per Table I benchmark, and writes the numbers as JSON so the
+repository accumulates a perf trajectory over PRs instead of anecdotes.
+
+The cold timing is exactly the hot path every figure and ablation funnels
+through, which is why it is the headline number; ``--baseline`` lets a run
+record the reference measurement it should be compared against (e.g. the
+same benchmark timed on the previous mainline commit on the same machine).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .core import DittoEngine
+from .core.bitwidth import clear_classification_pool
+from .runtime import ResultCache, default_cache_dir
+from .runtime.hashing import engine_key
+from .scratch import clear_scratch
+from .workloads import get_benchmark
+
+__all__ = ["bench_benchmark", "run_bench", "DEFAULT_OUT", "clear_pools"]
+
+DEFAULT_OUT = "BENCH_PR2.json"
+
+
+def clear_pools() -> None:
+    """Reset the per-thread scratch pools between measured models."""
+    clear_scratch()
+    clear_classification_pool()
+
+
+def bench_benchmark(
+    name: str,
+    repeats: int = 2,
+    seed: int = 0,
+    num_steps: Optional[int] = None,
+    cache_dir=None,
+) -> Dict[str, object]:
+    """Cold/warm timings for one benchmark; returns a JSON-ready record."""
+    spec = get_benchmark(name)
+    # One params dict drives BOTH the engine construction and the cache key,
+    # so the stored entry can never claim parameters that were not used.
+    params = {
+        "num_steps": num_steps if num_steps is not None else spec.num_steps,
+        "calibrate": True,
+        "calibration_seed": 11,
+        "step_clusters": 1,
+        "seed": seed,
+        "batch_size": 1,
+    }
+    cold_runs: List[Dict[str, float]] = []
+    result = None
+    for _ in range(max(repeats, 1)):
+        clear_pools()  # measure each repeat from a cold scratch state
+        t0 = time.perf_counter()
+        engine = DittoEngine.from_benchmark(
+            spec,
+            num_steps=params["num_steps"],
+            calibrate=params["calibrate"],
+            calibration_seed=params["calibration_seed"],
+            step_clusters=params["step_clusters"],
+        )
+        t1 = time.perf_counter()
+        result = engine.run(batch_size=params["batch_size"], seed=params["seed"])
+        t2 = time.perf_counter()
+        cold_runs.append(
+            {
+                "build_s": round(t1 - t0, 4),
+                "run_s": round(t2 - t1, 4),
+                "total_s": round(t2 - t0, 4),
+            }
+        )
+    best = min(cold_runs, key=lambda r: r["total_s"])
+
+    # Warm path: persist the result, then time the cache read that a warm
+    # sweep / benchmark session would perform instead of rebuilding.
+    cache = ResultCache(cache_dir or default_cache_dir())
+    key = engine_key(spec, **params)
+    cache.put(key, result)
+    t0 = time.perf_counter()
+    loaded = cache.get(key)
+    warm_s: Optional[float] = time.perf_counter() - t0
+    if loaded is None:  # pragma: no cover - cache dir unwritable
+        warm_s = None  # null in JSON; NaN would break strict parsers
+
+    trace = result.rich_trace
+    return {
+        "cold_build_s": best["build_s"],
+        "cold_run_s": best["run_s"],
+        "cold_total_s": best["total_s"],
+        "cold_runs": cold_runs,
+        "warm_load_s": None if warm_s is None else round(warm_s, 4),
+        "records": len(trace),
+        "steps": trace.num_steps(),
+        "total_macs": trace.total_macs(),
+        "samples_l1": float(np.abs(result.samples).sum()),  # drift canary
+    }
+
+
+def run_bench(
+    benchmarks: Optional[Sequence[str]] = None,
+    repeats: int = 2,
+    quick: bool = False,
+    seed: int = 0,
+    num_steps: Optional[int] = None,
+    out_path: Optional[str] = None,
+    baseline_s: Optional[float] = None,
+    baseline_ref: Optional[str] = None,
+    cache_dir=None,
+) -> Dict[str, object]:
+    """Bench the given benchmarks (default: whole Table I suite) to JSON."""
+    from .workloads import SUITE
+
+    if quick:
+        repeats = 1
+        if not benchmarks:
+            benchmarks = ["DDPM"]
+    names = list(benchmarks) if benchmarks else list(SUITE)
+    results: Dict[str, object] = {}
+    for name in names:
+        results[name] = bench_benchmark(
+            name, repeats=repeats, seed=seed, num_steps=num_steps,
+            cache_dir=cache_dir,
+        )
+    payload: Dict[str, object] = {
+        "schema": 1,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "config": {"repeats": repeats, "seed": seed, "num_steps": num_steps},
+        "benchmarks": results,
+    }
+    if baseline_s is not None:
+        headline = names[0]
+        cold = results[headline]["cold_total_s"]
+        payload["baseline"] = {
+            "ref": baseline_ref or "previous mainline commit",
+            "benchmark": headline,
+            "cold_total_s": baseline_s,
+            "speedup": round(baseline_s / cold, 3) if cold else None,
+        }
+    if out_path:
+        Path(out_path).write_text(json.dumps(payload, indent=1) + "\n")
+    return payload

@@ -12,6 +12,10 @@ Commands
     FP32 activation-similarity analysis (paper Figs. 3-4).
 ``sweep``
     Run every benchmark and print the Fig. 13-style summary matrix.
+``bench [BENCH ...]``
+    Time the cold engine build+run and warm cache load per benchmark and
+    write machine-readable JSON (``--quick`` restricts to DDPM with one
+    repeat, for CI perf smoke).
 ``cache info|clear``
     Inspect or reclaim the on-disk result cache.
 
@@ -97,6 +101,34 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep_p = sub.add_parser("sweep", help="run all benchmarks (Fig. 13 summary)")
     _add_runtime_flags(sweep_p)
+
+    bench_p = sub.add_parser(
+        "bench", help="time cold/warm engine runs, write JSON perf record"
+    )
+    bench_p.add_argument(
+        "benchmarks", nargs="*", metavar="BENCH",
+        help="benchmarks to time (default: the whole suite)",
+    )
+    bench_p.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke mode: DDPM only (unless named), one repeat",
+    )
+    bench_p.add_argument("--repeats", type=int, default=2, metavar="N")
+    bench_p.add_argument("--steps", type=int, default=None, help="override step count")
+    bench_p.add_argument("--seed", type=int, default=0)
+    bench_p.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="output JSON path (default: BENCH_PR2.json)",
+    )
+    bench_p.add_argument(
+        "--baseline", type=float, default=None, metavar="SECONDS",
+        help="reference cold time to record a speedup against",
+    )
+    bench_p.add_argument(
+        "--baseline-ref", default=None, metavar="REF",
+        help="label for the reference measurement (e.g. a commit hash)",
+    )
+    bench_p.add_argument("--cache-dir", default=None, metavar="DIR")
 
     cache_p = sub.add_parser("cache", help="inspect or clear the result cache")
     cache_p.add_argument("action", choices=["info", "clear"])
@@ -184,6 +216,43 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import DEFAULT_OUT, run_bench
+
+    unknown = [b for b in args.benchmarks if b not in SUITE]
+    if unknown:
+        print(f"unknown benchmark(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    out_path = args.out or DEFAULT_OUT
+    payload = run_bench(
+        benchmarks=args.benchmarks or None,
+        repeats=args.repeats,
+        quick=args.quick,
+        seed=args.seed,
+        num_steps=args.steps,
+        out_path=out_path,
+        baseline_s=args.baseline,
+        baseline_ref=args.baseline_ref,
+        cache_dir=args.cache_dir,
+    )
+    rows = [
+        [name, rec["cold_build_s"], rec["cold_run_s"], rec["cold_total_s"],
+         rec["warm_load_s"], rec["records"]]
+        for name, rec in payload["benchmarks"].items()
+    ]
+    print(format_table(
+        ["bench", "build s", "run s", "cold s", "warm s", "records"], rows
+    ))
+    baseline = payload.get("baseline")
+    if baseline:
+        print(
+            f"\n{baseline['benchmark']}: {baseline['speedup']}x vs "
+            f"{baseline['ref']} ({baseline['cold_total_s']}s)"
+        )
+    print(f"\nwrote {out_path}")
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     cache = ResultCache(args.cache_dir or default_cache_dir())
     if args.action == "clear":
@@ -206,6 +275,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_similarity(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "cache":
         return _cmd_cache(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

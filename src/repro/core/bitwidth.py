@@ -9,11 +9,20 @@ the Compute Unit's 1-vs-2-multiplier scheduling.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["BitWidthStats", "classify", "required_bits", "LOW_BITS", "FULL_BITS"]
+__all__ = [
+    "BitWidthStats",
+    "classify",
+    "classify_many",
+    "clear_classification_pool",
+    "required_bits",
+    "LOW_BITS",
+    "FULL_BITS",
+]
 
 LOW_BITS = 4
 FULL_BITS = 8
@@ -61,28 +70,126 @@ class BitWidthStats:
         return BitWidthStats(0, 0, 0, 0)
 
 
+# |v + _BAND_SHIFT| <= _BAND_HALF  <=>  _LOW_MIN <= v <= _LOW_MAX for
+# integer-valued v: one absolute-value band test instead of two comparisons
+# plus an AND, i.e. one boolean temporary instead of three.
+_BAND_SHIFT = -(_LOW_MIN + _LOW_MAX) / 2.0
+_BAND_HALF = (_LOW_MAX - _LOW_MIN) / 2.0
+
+# Per-thread (shape, dtype) -> (shift buffer, band buffer) pool.  The band
+# test touches multi-MB operands (im2col patch matrices) thousands of times
+# per run; reusing both temporaries per shape keeps the classification pass
+# allocation-free on the hot path.  Deliberately NOT routed through
+# repro.scratch.scratch_buffer: classification runs ~20k times per engine
+# run and fetching the pair with a single dict lookup measurably beats two
+# generic pool lookups.
+_POOL = threading.local()
+
+
+def clear_classification_pool() -> None:
+    """Drop this thread's pooled band-test buffers (see repro.scratch)."""
+    buffers = getattr(_POOL, "buffers", None)
+    if buffers is not None:
+        buffers.clear()
+
+
+def _band_buffers(shape: tuple, dtype: np.dtype) -> tuple:
+    buffers = getattr(_POOL, "buffers", None)
+    if buffers is None:
+        buffers = {}
+        _POOL.buffers = buffers
+    key = (shape, dtype)
+    pair = buffers.get(key)
+    if pair is None:
+        pair = (np.empty(shape, dtype=dtype), np.empty(shape, dtype=np.bool_))
+        buffers[key] = pair
+    return pair
+
+
+def _bucket_counts(values: np.ndarray) -> tuple:
+    """``(total, zero, low_or_zero)`` of one array in two reductions.
+
+    This is the single pass behind :func:`classify` / :func:`classify_many`:
+    zeros are counted directly off the numeric array (no boolean temporary
+    at all) and the low-or-zero band needs a single shifted absolute-value
+    test; the ``low`` and ``high`` buckets fall out by subtraction, so no
+    intermediate is ever re-scanned.
+
+    int16 operands (the layers' narrow spatial-difference scratch, values
+    well inside ±2^14) take a 2-byte fast path: shift so the band starts at
+    zero, reinterpret as unsigned, and a single compare classifies the band
+    - half the memory traffic of the float route.
+    """
+    v = values if isinstance(values, np.ndarray) else np.asarray(values)
+    total = v.size
+    zero = total - int(np.count_nonzero(v))
+    if v.dtype == np.int16:
+        shift_buf, band_buf = _band_buffers(v.shape, v.dtype)
+        shifted = np.subtract(v, np.int16(_LOW_MIN), out=shift_buf)
+        band = np.less_equal(
+            shifted.view(np.uint16), np.uint16(_LOW_MAX - _LOW_MIN), out=band_buf
+        )
+        return total, zero, int(np.count_nonzero(band))
+    out_dtype = v.dtype if v.dtype.kind == "f" else np.dtype(np.float64)
+    shift_buf, band_buf = _band_buffers(v.shape, out_dtype)
+    shifted = np.add(v, _BAND_SHIFT, out=shift_buf)
+    np.abs(shifted, out=shifted)
+    band = np.less_equal(shifted, _BAND_HALF, out=band_buf)
+    low_or_zero = int(np.count_nonzero(band))
+    return total, zero, low_or_zero
+
+
 def classify(values: np.ndarray) -> BitWidthStats:
     """Bucket integer-valued ``values`` into zero / 4-bit / over-4-bit.
 
     ``values`` must already be in the quantized integer domain (the output of
     :meth:`repro.quant.SymmetricQuantizer.quantize` or a difference thereof).
     """
-    v = np.asarray(values)
-    total = int(v.size)
-    zero = int(np.count_nonzero(v == 0))
-    low_or_zero = int(np.count_nonzero((v >= _LOW_MIN) & (v <= _LOW_MAX)))
-    low = low_or_zero - zero
-    high = total - low_or_zero
-    return BitWidthStats(total=total, zero=zero, low=low, high=high)
+    total, zero, low_or_zero = _bucket_counts(values)
+    return BitWidthStats(
+        total=total, zero=zero, low=low_or_zero - zero, high=total - low_or_zero
+    )
+
+
+def classify_many(*arrays: np.ndarray) -> BitWidthStats:
+    """Fused :func:`classify` over several operand arrays.
+
+    Equivalent to merging per-array :func:`classify` results but accumulates
+    the raw counts directly, so a layer step's dense / spatial / temporal
+    operands (or the pieces of a spatial-difference view) are bucketed in
+    one pass without intermediate :class:`BitWidthStats` objects.
+    """
+    total = zero = low_or_zero = 0
+    for arr in arrays:
+        t, z, lz = _bucket_counts(arr)
+        total += t
+        zero += z
+        low_or_zero += lz
+    return BitWidthStats(
+        total=total, zero=zero, low=low_or_zero - zero, high=total - low_or_zero
+    )
 
 
 def required_bits(values: np.ndarray) -> np.ndarray:
     """Per-element minimum signed bit-width (0 for zeros).
 
-    A signed integer ``v != 0`` needs ``ceil(log2(max(v+1, -v))) + 1`` bits;
-    e.g. -8..7 fit in 4 bits.
+    A signed integer ``v != 0`` needs ``bit_length(v if v >= 0 else -v-1) + 1``
+    bits; e.g. -8..7 fit in 4 bits.  Computed with exact integer arithmetic
+    (a vectorized binary-search bit-length), so large power-of-two magnitudes
+    near the float53 precision cliff classify correctly - ``2**53`` needs 55
+    bits, which ``ceil(log2(float(2**53 + 1)))`` gets wrong.
     """
     v = np.asarray(values, dtype=np.int64)
-    magnitude = np.where(v >= 0, v + 1, -v).astype(np.float64)
-    bits = np.ceil(np.log2(np.maximum(magnitude, 1.0))) + 1.0
-    return np.where(v == 0, 0, bits.astype(np.int64))
+    flat = v.reshape(-1)
+    # Two's complement: ~x == -x - 1, so the non-negative magnitude whose
+    # bit-length decides the width is reachable without overflow even for
+    # the most negative int64.
+    mag = np.where(flat < 0, ~flat, flat).astype(np.uint64)
+    bits = np.zeros(flat.shape, dtype=np.int64)
+    for shift in (32, 16, 8, 4, 2, 1):
+        big = mag >= (np.uint64(1) << np.uint64(shift))
+        bits[big] += shift
+        mag[big] >>= np.uint64(shift)
+    bits += mag.astype(np.int64)  # remaining 0/1 top bit
+    bits = np.where(flat == 0, 0, bits + 1)
+    return bits.reshape(v.shape)

@@ -13,9 +13,11 @@ from __future__ import annotations
 
 from typing import Dict
 
+import numpy as np
+
 from .bitwidth import BitWidthStats, FULL_BITS, LOW_BITS
 from .modes import ExecutionMode
-from .trace import LayerStep, Trace
+from .trace import DENSE_ID, LayerStep, Trace
 
 __all__ = [
     "bops_per_mac",
@@ -54,12 +56,31 @@ def layer_bops(step: LayerStep, zero_skipping: bool = True) -> float:
     return step.macs * step.sub_ops * bops_per_mac(step.stats, zero_skipping)
 
 
+def _layer_bops_column(trace: Trace, zero_skipping: bool) -> np.ndarray:
+    """Per-record BOPs as one vectorized column (see :func:`layer_bops`)."""
+    total = (trace.col("macs") * trace.col("sub_ops")).astype(np.float64)
+    dense = trace.col("mode") == DENSE_ID
+    elems = trace.col("st_total").astype(np.float64)
+    safe = np.where(elems > 0.0, elems, 1.0)
+    zero_cost = 0.0 if zero_skipping else float(_LOW_COST)
+    per_mac = (
+        (trace.col("st_zero") / safe) * zero_cost
+        + (trace.col("st_low") / safe) * _LOW_COST
+        + (trace.col("st_high") / safe) * _DENSE_COST
+    )
+    return np.where(dense, total * _DENSE_COST, total * per_mac)
+
+
 def trace_bops(trace: Trace, zero_skipping: bool = True) -> float:
+    if hasattr(trace, "col"):
+        return float(_layer_bops_column(trace, zero_skipping).sum())
     return sum(layer_bops(s, zero_skipping) for s in trace)
 
 
 def dense_bops(trace: Trace) -> float:
     """BOPs the same trace would cost with original 8-bit activations."""
+    if hasattr(trace, "col"):
+        return float(int((trace.col("macs") * trace.col("sub_ops")).sum()) * _DENSE_COST)
     return float(sum(s.macs * s.sub_ops for s in trace) * _DENSE_COST)
 
 
@@ -73,6 +94,8 @@ def relative_bops(trace: Trace, zero_skipping: bool = True) -> float:
 
 def dense_bops_reference(trace: Trace) -> float:
     """Dense baseline counts each layer *once* (no difference sub-ops)."""
+    if hasattr(trace, "col"):
+        return float(int(trace.col("macs").sum()) * _DENSE_COST)
     return float(sum(s.macs for s in trace) * _DENSE_COST)
 
 
@@ -80,6 +103,17 @@ def per_step_relative_bops(
     trace: Trace, zero_skipping: bool = True
 ) -> Dict[int, float]:
     """Per-time-step relative BOPs (Fig. 6b)."""
+    if hasattr(trace, "col"):
+        step_col = trace.col("step_index")
+        steps, inverse = np.unique(step_col, return_inverse=True)
+        dense = np.bincount(inverse, weights=trace.col("macs")) * _DENSE_COST
+        actual = np.bincount(
+            inverse, weights=_layer_bops_column(trace, zero_skipping)
+        )
+        return {
+            int(step): float(actual[i] / dense[i]) if dense[i] else 0.0
+            for i, step in enumerate(steps)
+        }
     result: Dict[int, float] = {}
     for step_index, steps in trace.by_step().items():
         dense = sum(s.macs for s in steps) * _DENSE_COST

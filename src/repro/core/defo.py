@@ -28,9 +28,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+import numpy as np
+
 from .modes import ExecutionMode
-from .policy import is_attention
-from .trace import RichLayerStep, RichTrace, Trace, derive_layer_step
+from .trace import (
+    DENSE_ID,
+    MODE_ID,
+    MODES,
+    SPATIAL_ID,
+    TEMPORAL_ID,
+    RichLayerStep,
+    RichTrace,
+    Trace,
+    derive_layer_step,
+)
 
 __all__ = ["DefoReport", "run_defo", "run_ideal"]
 
@@ -75,6 +86,35 @@ def _ordered_steps(rich_trace: RichTrace) -> List[int]:
     return sorted(rich_trace.by_step())
 
 
+def _allowed_mode_ids(rich_trace: RichTrace, attention_diff: bool) -> np.ndarray:
+    """Per-record mode id of "temporal processing as allowed by the policy"."""
+    if attention_diff:
+        return np.full(len(rich_trace), TEMPORAL_ID, dtype=np.int64)
+    return np.where(rich_trace.attention_mask(), DENSE_ID, TEMPORAL_ID)
+
+
+def _cycles_for_modes(
+    rich_trace: RichTrace, hardware, mode_ids: np.ndarray, bypass: str
+) -> np.ndarray:
+    """Per-record cycle counts under a hypothetical per-record mode choice.
+
+    Uses the hardware model's vectorized column path when it has one;
+    falls back to scalar ``layer_cycles`` calls for custom/stub models.
+    """
+    if hasattr(hardware, "cycles_array"):
+        return np.asarray(
+            hardware.cycles_array(rich_trace.lower_modes(mode_ids, bypass)),
+            dtype=np.float64,
+        )
+    return np.array(
+        [
+            _cycles(hardware, view, MODES[mode_ids[i]], bypass)
+            for i, view in enumerate(rich_trace.steps)
+        ],
+        dtype=np.float64,
+    )
+
+
 def run_defo(
     rich_trace: RichTrace,
     hardware,
@@ -83,32 +123,45 @@ def run_defo(
     bypass_style: str = "chained",
     attention_diff: bool = True,
 ) -> DefoReport:
-    """Lower ``rich_trace`` under Defo (or Defo+/Dynamic-Ditto) decisions."""
-    steps = _ordered_steps(rich_trace)
+    """Lower ``rich_trace`` under Defo (or Defo+/Dynamic-Ditto) decisions.
+
+    The hypothetical per-record cycle counts (temporal-as-allowed vs
+    fallback) are produced by two vectorized lowerings up front; the
+    decision walk itself is then pure array/dict bookkeeping - no hardware
+    model calls inside the loop.
+    """
+    n = len(rich_trace)
+    step_col = rich_trace.col("step_index")
+    steps = [int(s) for s in np.unique(step_col)]
     if len(steps) < 2:
         raise ValueError("Defo needs at least two time steps to decide")
-    by_step = rich_trace.by_step()
     fallback = ExecutionMode.SPATIAL if plus else ExecutionMode.DENSE
+    fallback_id = MODE_ID[fallback]
 
-    def allowed_temporal(rich: RichLayerStep) -> ExecutionMode:
-        if not attention_diff and is_attention(rich):
-            return ExecutionMode.DENSE
-        return ExecutionMode.TEMPORAL
+    allowed_ids = _allowed_mode_ids(rich_trace, attention_diff)
+    t_cycles = _cycles_for_modes(rich_trace, hardware, allowed_ids, bypass_style)
+    f_cycles = _cycles_for_modes(
+        rich_trace, hardware, np.full(n, fallback_id, dtype=np.int64), bypass_style
+    )
+
+    names = rich_trace.layer_names()
+    layer_col = rich_trace.col("layer_id")
+    # Records in by-step order (stable within a step = original record order).
+    order = np.argsort(step_col, kind="stable")
 
     # -- step 1: store Cycle_act (fallback-mode cycles) ---------------------
     cycle_act: Dict[str, float] = {}
-    for rich in by_step[steps[0]]:
-        cycle_act[rich.layer_name] = _cycles(hardware, rich, fallback, bypass_style)
+    for i in order[step_col[order] == steps[0]]:
+        cycle_act[names[layer_col[i]]] = float(f_cycles[i])
 
     # -- step 2: store Cycle_diff and decide --------------------------------
     cycle_diff: Dict[str, float] = {}
     decisions: Dict[str, ExecutionMode] = {}
-    for rich in by_step[steps[1]]:
-        name = rich.layer_name
-        mode = allowed_temporal(rich)
-        cycle_diff[name] = _cycles(hardware, rich, mode, bypass_style)
+    for i in order[step_col[order] == steps[1]]:
+        name = names[layer_col[i]]
+        cycle_diff[name] = float(t_cycles[i])
         act = cycle_act.get(name)
-        if act is None or mode is not ExecutionMode.TEMPORAL:
+        if act is None or allowed_ids[i] != TEMPORAL_ID:
             decisions[name] = fallback
         else:
             decisions[name] = (
@@ -120,43 +173,40 @@ def run_defo(
     current = dict(decisions)
     correct = 0
     total = 0
-    for step_id in steps[2:]:
-        for rich in by_step[step_id]:
-            name = rich.layer_name
-            mode = current.get(name, allowed_temporal(rich))
-            assigned[(name, step_id)] = mode
-            # Oracle for accuracy accounting (Fig. 17): per-step argmin.
-            t_cycles = _cycles(
-                hardware, rich, allowed_temporal(rich), bypass_style
-            )
-            f_cycles = _cycles(hardware, rich, fallback, bypass_style)
-            oracle = (
-                allowed_temporal(rich) if t_cycles < f_cycles else fallback
-            )
-            total += 1
-            if oracle is mode or (
-                oracle is not ExecutionMode.TEMPORAL
-                and mode is not ExecutionMode.TEMPORAL
-            ):
-                correct += 1
-            if dynamic and mode is ExecutionMode.TEMPORAL:
-                act = cycle_act.get(name)
-                if act is not None and t_cycles > act:
-                    current[name] = fallback
+    for i in order[step_col[order] > steps[1]]:
+        name = names[layer_col[i]]
+        step_id = int(step_col[i])
+        allowed = MODES[allowed_ids[i]]
+        mode = current.get(name, allowed)
+        assigned[(name, step_id)] = mode
+        # Oracle for accuracy accounting (Fig. 17): per-step argmin.
+        tc = float(t_cycles[i])
+        oracle = allowed if tc < float(f_cycles[i]) else fallback
+        total += 1
+        if oracle is mode or (
+            oracle is not ExecutionMode.TEMPORAL
+            and mode is not ExecutionMode.TEMPORAL
+        ):
+            correct += 1
+        if dynamic and mode is ExecutionMode.TEMPORAL:
+            act = cycle_act.get(name)
+            if act is not None and tc > act:
+                current[name] = fallback
 
     # -- lower the full trace ------------------------------------------------
-    first_mode = ExecutionMode.SPATIAL if plus else ExecutionMode.DENSE
-
-    def mode_for(rich: RichLayerStep) -> ExecutionMode:
-        if rich.step_index == steps[0]:
-            return first_mode
-        if rich.step_index == steps[1]:
-            return allowed_temporal(rich)
-        return assigned.get(
-            (rich.layer_name, rich.step_index), allowed_temporal(rich)
+    first_mode_id = SPATIAL_ID if plus else DENSE_ID
+    mode_ids = np.empty(n, dtype=np.int64)
+    first_mask = step_col == steps[0]
+    second_mask = step_col == steps[1]
+    mode_ids[first_mask] = first_mode_id
+    mode_ids[second_mask] = allowed_ids[second_mask]
+    for i in np.flatnonzero(~(first_mask | second_mask)):
+        mode = assigned.get(
+            (names[layer_col[i]], int(step_col[i])), MODES[allowed_ids[i]]
         )
+        mode_ids[i] = MODE_ID[mode]
 
-    trace = rich_trace.lower(mode_for, bypass_style=bypass_style)
+    trace = rich_trace.lower_modes(mode_ids, bypass_style=bypass_style)
     changed = [
         name
         for name, mode in decisions.items()
@@ -187,17 +237,24 @@ def run_ideal(
     The first step still runs dense/spatial (there is nothing to difference
     against), matching the paper's Ideal-Ditto definition.
     """
-    steps = _ordered_steps(rich_trace)
+    step_col = rich_trace.col("step_index")
+    first_step = int(step_col.min()) if len(rich_trace) else 0
     fallback = ExecutionMode.SPATIAL if plus else ExecutionMode.DENSE
+    fallback_id = MODE_ID[fallback]
 
-    def mode_for(rich: RichLayerStep) -> ExecutionMode:
-        if rich.step_index == steps[0] or not rich.has_temporal:
-            return fallback
-        temporal = ExecutionMode.TEMPORAL
-        if not attention_diff and is_attention(rich):
-            return fallback
-        t_cycles = _cycles(hardware, rich, temporal, bypass_style)
-        f_cycles = _cycles(hardware, rich, fallback, bypass_style)
-        return temporal if t_cycles < f_cycles else fallback
-
-    return rich_trace.lower(mode_for, bypass_style=bypass_style)
+    allowed_ids = _allowed_mode_ids(rich_trace, attention_diff)
+    t_cycles = _cycles_for_modes(rich_trace, hardware, allowed_ids, bypass_style)
+    f_cycles = _cycles_for_modes(
+        rich_trace,
+        hardware,
+        np.full(len(rich_trace), fallback_id, dtype=np.int64),
+        bypass_style,
+    )
+    temporal_wins = (
+        (step_col != first_step)
+        & rich_trace.col("has_temporal")
+        & (allowed_ids == TEMPORAL_ID)
+        & (t_cycles < f_cycles)
+    )
+    mode_ids = np.where(temporal_wins, TEMPORAL_ID, fallback_id)
+    return rich_trace.lower_modes(mode_ids, bypass_style=bypass_style)

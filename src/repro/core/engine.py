@@ -185,12 +185,22 @@ class DittoEngine:
         recorder = TraceRecorder()
         calls = [0]
         original_predict = self.pipeline.predict_noise
+        # Resolve the quantized layers once; setting the mode per denoiser
+        # call must not re-walk the whole module tree.
+        from ..quant.qlayers import iter_qlayers
+
+        qlayers = [qlayer for _, qlayer in iter_qlayers(self.qmodel)]
+
+        active_mode = [None]
 
         def counted_predict(x: np.ndarray, t: int) -> np.ndarray:
-            set_model_mode(
-                self.qmodel,
-                ExecutionMode.DENSE if calls[0] == 0 else ExecutionMode.TEMPORAL,
+            mode = (
+                ExecutionMode.DENSE if calls[0] == 0 else ExecutionMode.TEMPORAL
             )
+            if mode is not active_mode[0]:  # only flips after the first call
+                for qlayer in qlayers:
+                    qlayer.mode = mode
+                active_mode[0] = mode
             recorder.set_step(calls[0])
             set_active_step(calls[0])
             calls[0] += 1

@@ -17,10 +17,10 @@ full bit-width operations" (paper Section VI-A).
 
 from __future__ import annotations
 
-from typing import Callable
+import numpy as np
 
 from .modes import ExecutionMode
-from .trace import RichLayerStep, RichTrace, Trace
+from .trace import DENSE_ID, SPATIAL_ID, TEMPORAL_ID, RichLayerStep, RichTrace, Trace
 
 __all__ = [
     "lower_dense",
@@ -34,29 +34,27 @@ def is_attention(rich: RichLayerStep) -> bool:
     return rich.kind.startswith("attn")
 
 
-def _guard_attention(
-    mode_for: Callable[[RichLayerStep], ExecutionMode], attention_diff: bool
-) -> Callable[[RichLayerStep], ExecutionMode]:
+def _constant_modes(
+    rich_trace: RichTrace, mode_id: int, attention_diff: bool
+) -> np.ndarray:
+    """One mode everywhere, except attention forced dense when restricted."""
     if attention_diff:
-        return mode_for
-
-    def guarded(rich: RichLayerStep) -> ExecutionMode:
-        if is_attention(rich):
-            return ExecutionMode.DENSE
-        return mode_for(rich)
-
-    return guarded
+        return np.full(len(rich_trace), mode_id, dtype=np.int64)
+    return np.where(rich_trace.attention_mask(), DENSE_ID, mode_id)
 
 
 def lower_dense(rich_trace: RichTrace) -> Trace:
     """Every layer at every step with original 8-bit activations."""
-    return rich_trace.lower(lambda _rich: ExecutionMode.DENSE, bypass_style="none")
+    return rich_trace.lower_modes(
+        _constant_modes(rich_trace, DENSE_ID, True), bypass_style="none"
+    )
 
 
 def lower_spatial(rich_trace: RichTrace, attention_diff: bool = True) -> Trace:
     """Diffy: spatial (intra-tensor) differences at every step."""
-    mode_for = _guard_attention(lambda _rich: ExecutionMode.SPATIAL, attention_diff)
-    return rich_trace.lower(mode_for, bypass_style="none")
+    return rich_trace.lower_modes(
+        _constant_modes(rich_trace, SPATIAL_ID, attention_diff), bypass_style="none"
+    )
 
 
 def lower_temporal(
@@ -69,5 +67,7 @@ def lower_temporal(
     (Records without temporal stats - the first step - fall back to dense
     inside the lowering automatically.)
     """
-    mode_for = _guard_attention(lambda _rich: ExecutionMode.TEMPORAL, attention_diff)
-    return rich_trace.lower(mode_for, bypass_style=bypass_style)
+    return rich_trace.lower_modes(
+        _constant_modes(rich_trace, TEMPORAL_ID, attention_diff),
+        bypass_style=bypass_style,
+    )

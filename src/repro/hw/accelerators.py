@@ -12,18 +12,23 @@ Modelling level (deliberately matched to what decides the paper's results):
 * **Pipelining** - Encoding Unit, Compute Unit and Vector Processing Unit
   overlap; a layer costs the max of its stage times (paper Section V-A).
 
-The models consume hardware-facing :class:`~repro.core.trace.LayerStep`
-records, so any execution policy (dense / Diffy spatial / naive temporal /
-Defo / ideal oracle) can be evaluated on any hardware by lowering the rich
-trace accordingly.
+The models consume hardware-facing :class:`~repro.core.trace.Trace` records.
+``run`` and ``cycles_array`` operate on the trace's numpy columns directly -
+one vectorized pass per design point instead of a Python loop over tens of
+thousands of records - while ``layer_cycles`` keeps the per-record scalar
+contract for custom/stub models and spot checks.  Any execution policy
+(dense / Diffy spatial / naive temporal / Defo / ideal oracle) can be
+evaluated on any hardware by lowering the rich trace accordingly.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
+
+import numpy as np
 
 from ..core.modes import ExecutionMode
-from ..core.trace import LayerStep, Trace
+from ..core.trace import DENSE_ID, MODES, LayerStep, Trace
 from .config import EnergyModel, HardwareConfig, get_config
 from .report import HardwareReport, LayerCycles
 
@@ -33,6 +38,8 @@ __all__ = [
     "GPUModel",
     "build_accelerator",
 ]
+
+_MODE_STRS = [str(mode) for mode in MODES]
 
 
 class AdderTreeAccelerator:
@@ -50,7 +57,7 @@ class AdderTreeAccelerator:
         self.config = config
         self.name = config.name
 
-    # -- per-stage models ---------------------------------------------------
+    # -- per-stage models (scalar contract) ---------------------------------
     def _lane_ops(self, step: LayerStep) -> Dict[str, float]:
         """Effective lane-operations split by operand class."""
         cfg = self.config
@@ -89,7 +96,7 @@ class AdderTreeAccelerator:
     def memory_cycles(self, step: LayerStep) -> float:
         return step.bytes_total / self.config.dram_bw_bytes_per_cycle
 
-    # -- energy ----------------------------------------------------------
+    # -- energy (scalar contract) ------------------------------------------
     def _energy(self, step: LayerStep, cycles: float) -> Dict[str, float]:
         cfg = self.config
         e: EnergyModel = cfg.energy
@@ -113,6 +120,74 @@ class AdderTreeAccelerator:
         }
         return breakdown
 
+    # -- vectorized column models -------------------------------------------
+    def _lane_ops_arrays(self, trace: Trace):
+        """``(low, high, dense_mask, total)`` lane-op columns for a trace."""
+        cfg = self.config
+        total = (trace.col("macs") * trace.col("sub_ops")).astype(np.float64)
+        dense = trace.col("mode") == DENSE_ID
+        elems = trace.col("st_total").astype(np.float64)
+        safe = np.where(elems > 0.0, elems, 1.0)
+        zero_frac = trace.col("st_zero") / safe
+        low_frac = trace.col("st_low") / safe
+        high_frac = trace.col("st_high") / safe
+        zero_cost = 0.0 if cfg.supports_zero_skip else 1.0
+        low = np.where(dense, 0.0, total * (low_frac + zero_frac * zero_cost))
+        high = np.where(dense, total, total * high_frac)
+        return low, high, dense, total
+
+    def compute_cycles_array(self, trace: Trace) -> np.ndarray:
+        cfg = self.config
+        low, high, _, _ = self._lane_ops_arrays(trace)
+        if cfg.mult_bits >= 8:
+            lane_ops = low + high
+        else:
+            lane_ops = low + 2.0 * high
+        return lane_ops / cfg.num_mults
+
+    def encode_cycles_array(self, trace: Trace) -> np.ndarray:
+        dense = trace.col("mode") == DENSE_ID
+        return np.where(dense, 0.0, trace.col("data_elems") / self.config.num_mults)
+
+    def vpu_cycles_array(self, trace: Trace) -> np.ndarray:
+        return trace.col("vpu_elems") / max(self.config.num_mults / 8.0, 1.0)
+
+    def memory_cycles_array(self, trace: Trace) -> np.ndarray:
+        return trace.bytes_total() / self.config.dram_bw_bytes_per_cycle
+
+    def cycles_array(self, trace: Trace) -> np.ndarray:
+        """Per-record pipelined cycle counts (max over the four stages)."""
+        return np.maximum(
+            np.maximum(
+                self.compute_cycles_array(trace), self.memory_cycles_array(trace)
+            ),
+            np.maximum(
+                self.encode_cycles_array(trace), self.vpu_cycles_array(trace)
+            ),
+        )
+
+    def _energy_arrays(
+        self, trace: Trace, cycles: np.ndarray
+    ) -> Dict[str, np.ndarray]:
+        cfg = self.config
+        e: EnergyModel = cfg.energy
+        low, high, dense, total = self._lane_ops_arrays(trace)
+        if cfg.mult_bits >= 8:
+            compute = (low + high) * e.mult8_pj
+        else:
+            compute = low * e.mult4_pj + high * e.mult8_pj
+        bytes_total = trace.bytes_total()
+        n = len(trace)
+        return {
+            "compute": compute,
+            "encode": np.where(dense, 0.0, trace.col("data_elems") * e.encode_pj),
+            "vpu": trace.col("vpu_elems") * e.vpu_pj,
+            "defo": np.full(n, e.defo_pj),
+            "sram": bytes_total * e.sram_byte_pj,
+            "dram": bytes_total * e.dram_byte_pj,
+            "leak": cycles * cfg.num_mults * e.leak_per_mult_cycle_pj,
+        }
+
     # -- driver ------------------------------------------------------------
     def layer_cycles(self, step: LayerStep) -> LayerCycles:
         compute = self.compute_cycles(step)
@@ -133,10 +208,25 @@ class AdderTreeAccelerator:
         )
 
     def run(self, trace: Trace) -> HardwareReport:
-        report = HardwareReport(hardware=self.name)
-        for step in trace:
-            report.append(self.layer_cycles(step))
-        return report
+        compute = self.compute_cycles_array(trace)
+        memory = self.memory_cycles_array(trace)
+        encode = self.encode_cycles_array(trace)
+        vpu = self.vpu_cycles_array(trace)
+        cycles = np.maximum(np.maximum(compute, memory), np.maximum(encode, vpu))
+        return HardwareReport.from_arrays(
+            hardware=self.name,
+            layer_names=trace.layer_names(),
+            layer_ids=trace.col("layer_id"),
+            step_index=trace.col("step_index"),
+            modes=_MODE_STRS,
+            mode_ids=trace.col("mode"),
+            compute=compute,
+            memory=memory,
+            encode=encode,
+            vpu=vpu,
+            energy=self._energy_arrays(trace, cycles),
+            bytes_moved=trace.bytes_total(),
+        )
 
 
 class CambriconDAccelerator(AdderTreeAccelerator):
@@ -160,12 +250,29 @@ class CambriconDAccelerator(AdderTreeAccelerator):
         outlier = ops["high"] / cfg.outlier_mults
         return max(normal, outlier)
 
+    def compute_cycles_array(self, trace: Trace) -> np.ndarray:
+        cfg = self.config
+        low, high, dense, total = self._lane_ops_arrays(trace)
+        routed = np.maximum(low / cfg.num_mults, high / cfg.outlier_mults)
+        return np.where(dense, total / cfg.outlier_mults, routed)
+
     def _energy(self, step: LayerStep, cycles: float) -> Dict[str, float]:
         breakdown = super()._energy(step, cycles)
         if step.mode is ExecutionMode.DENSE:
             breakdown["compute"] = (
                 step.macs * step.sub_ops * self.config.energy.mult8_pj
             )
+        return breakdown
+
+    def _energy_arrays(
+        self, trace: Trace, cycles: np.ndarray
+    ) -> Dict[str, np.ndarray]:
+        breakdown = super()._energy_arrays(trace, cycles)
+        dense = trace.col("mode") == DENSE_ID
+        total = (trace.col("macs") * trace.col("sub_ops")).astype(np.float64)
+        breakdown["compute"] = np.where(
+            dense, total * self.config.energy.mult8_pj, breakdown["compute"]
+        )
         return breakdown
 
 
@@ -196,6 +303,15 @@ class GPUModel:
         self.power_w = power_w
         self.freq_ghz = freq_ghz
 
+    def _compute_array(self, trace: Trace) -> np.ndarray:
+        return (
+            trace.col("macs") / (self.peak_macs_per_cycle * self.utilization)
+            + self.launch_cycles
+        )
+
+    def cycles_array(self, trace: Trace) -> np.ndarray:
+        return self._compute_array(trace)
+
     def layer_cycles(self, step: LayerStep) -> LayerCycles:
         compute = (
             step.macs / (self.peak_macs_per_cycle * self.utilization)
@@ -215,10 +331,29 @@ class GPUModel:
         )
 
     def run(self, trace: Trace) -> HardwareReport:
-        report = HardwareReport(hardware=self.name)
-        for step in trace:
-            report.append(self.layer_cycles(step))
-        return report
+        compute = self._compute_array(trace)
+        n = len(trace)
+        seconds = compute / (self.freq_ghz * 1e9)
+        zeros = np.zeros(n)
+        # The GPU model executes the original activations: no difference
+        # traffic, so bytes_extra is excluded from bytes moved.
+        bytes_moved = (
+            trace.col("bytes_in") + trace.col("bytes_weight") + trace.col("bytes_out")
+        )
+        return HardwareReport.from_arrays(
+            hardware=self.name,
+            layer_names=trace.layer_names(),
+            layer_ids=trace.col("layer_id"),
+            step_index=trace.col("step_index"),
+            modes=["dense"],
+            mode_ids=np.zeros(n, dtype=np.int64),
+            compute=compute,
+            memory=zeros,
+            encode=zeros,
+            vpu=zeros,
+            energy={"gpu": self.power_w * seconds * 1e12},
+            bytes_moved=bytes_moved,
+        )
 
 
 def build_accelerator(name: str, config: Optional[HardwareConfig] = None):

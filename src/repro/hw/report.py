@@ -1,9 +1,19 @@
-"""Result dataclasses produced by the hardware models."""
+"""Result containers produced by the hardware models.
+
+:class:`HardwareReport` has two storage modes.  Appending
+:class:`LayerCycles` records one at a time (tests, custom models) keeps a
+plain Python list.  The vectorized accelerators instead hand over flat
+numpy columns via :meth:`HardwareReport.from_arrays`; aggregate metrics then
+run as column reductions and per-record :class:`LayerCycles` views are only
+materialized if somebody iterates ``report.layers``.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 __all__ = ["LayerCycles", "HardwareReport"]
 
@@ -42,35 +52,127 @@ class LayerCycles:
         return sum(self.energy_pj.values())
 
 
-@dataclass
 class HardwareReport:
     """Aggregate outcome of running a full trace on one hardware model."""
 
-    hardware: str
-    layers: List[LayerCycles] = field(default_factory=list)
+    def __init__(
+        self, hardware: str, layers: Optional[Sequence[LayerCycles]] = None
+    ) -> None:
+        self.hardware = hardware
+        self._layers: Optional[List[LayerCycles]] = (
+            list(layers) if layers is not None else []
+        )
+        self._arrays: Optional[dict] = None
+
+    @classmethod
+    def from_arrays(
+        cls,
+        hardware: str,
+        layer_names: List[str],
+        layer_ids: np.ndarray,
+        step_index: np.ndarray,
+        modes: List[str],
+        mode_ids: np.ndarray,
+        compute: np.ndarray,
+        memory: np.ndarray,
+        encode: np.ndarray,
+        vpu: np.ndarray,
+        energy: Dict[str, np.ndarray],
+        bytes_moved: np.ndarray,
+    ) -> "HardwareReport":
+        """Columnar constructor used by the vectorized accelerator models."""
+        report = cls(hardware)
+        report._layers = None
+        cycles = np.maximum(np.maximum(compute, memory), np.maximum(encode, vpu))
+        report._arrays = {
+            "layer_names": layer_names,
+            "layer_ids": np.asarray(layer_ids),
+            "step_index": np.asarray(step_index),
+            "modes": modes,
+            "mode_ids": np.asarray(mode_ids),
+            "compute": np.asarray(compute, dtype=np.float64),
+            "memory": np.asarray(memory, dtype=np.float64),
+            "encode": np.asarray(encode, dtype=np.float64),
+            "vpu": np.asarray(vpu, dtype=np.float64),
+            "cycles": cycles,
+            "energy": {k: np.asarray(v, dtype=np.float64) for k, v in energy.items()},
+            "bytes_moved": np.asarray(bytes_moved),
+        }
+        return report
+
+    # -- record access -----------------------------------------------------
+    def _materialize(self) -> List[LayerCycles]:
+        a = self._arrays
+        energy_items = list(a["energy"].items())
+        layers = []
+        for i in range(len(a["step_index"])):
+            layers.append(
+                LayerCycles(
+                    layer_name=a["layer_names"][a["layer_ids"][i]],
+                    step_index=int(a["step_index"][i]),
+                    mode=a["modes"][a["mode_ids"][i]],
+                    compute_cycles=float(a["compute"][i]),
+                    memory_cycles=float(a["memory"][i]),
+                    encode_cycles=float(a["encode"][i]),
+                    vpu_cycles=float(a["vpu"][i]),
+                    energy_pj={k: float(v[i]) for k, v in energy_items},
+                    bytes_moved=int(a["bytes_moved"][i]),
+                )
+            )
+        return layers
+
+    @property
+    def layers(self) -> List[LayerCycles]:
+        if self._layers is None:
+            self._layers = self._materialize()
+        return self._layers
 
     def append(self, layer: LayerCycles) -> None:
-        self.layers.append(layer)
+        layers = self.layers  # materializes the views if needed
+        self._arrays = None  # record-level mutation invalidates the columns
+        layers.append(layer)
+
+    def __len__(self) -> int:
+        if self._arrays is not None:
+            return len(self._arrays["step_index"])
+        return len(self._layers)
 
     # -- cycles ----------------------------------------------------------
     @property
     def total_cycles(self) -> float:
+        if self._arrays is not None:
+            return float(self._arrays["cycles"].sum())
         return sum(l.cycles for l in self.layers)
 
     @property
     def compute_cycles(self) -> float:
+        if self._arrays is not None:
+            a = self._arrays
+            return float(np.minimum(a["compute"], a["cycles"]).sum())
         return sum(min(l.compute_cycles, l.cycles) for l in self.layers)
 
     @property
     def stall_cycles(self) -> float:
+        if self._arrays is not None:
+            a = self._arrays
+            return float(np.maximum(a["memory"] - a["compute"], 0.0).sum())
         return sum(l.stall_cycles for l in self.layers)
 
     # -- energy / traffic -------------------------------------------------
     @property
     def total_energy_pj(self) -> float:
+        if self._arrays is not None:
+            return float(
+                sum(arr.sum() for arr in self._arrays["energy"].values())
+            )
         return sum(l.total_energy_pj for l in self.layers)
 
     def energy_breakdown_pj(self) -> Dict[str, float]:
+        if self._arrays is not None:
+            return {
+                component: float(arr.sum())
+                for component, arr in self._arrays["energy"].items()
+            }
         breakdown: Dict[str, float] = {}
         for layer in self.layers:
             for component, value in layer.energy_pj.items():
@@ -79,6 +181,8 @@ class HardwareReport:
 
     @property
     def total_bytes(self) -> int:
+        if self._arrays is not None:
+            return int(self._arrays["bytes_moved"].sum())
         return sum(l.bytes_moved for l in self.layers)
 
     # -- comparisons --------------------------------------------------------
@@ -99,12 +203,24 @@ class HardwareReport:
 
     # -- per-layer views ---------------------------------------------------
     def cycles_by_layer(self) -> Dict[str, float]:
+        if self._arrays is not None:
+            a = self._arrays
+            sums = np.bincount(
+                a["layer_ids"], weights=a["cycles"], minlength=len(a["layer_names"])
+            )
+            ids_present = np.unique(a["layer_ids"])
+            return {a["layer_names"][i]: float(sums[i]) for i in ids_present}
         grouped: Dict[str, float] = {}
         for layer in self.layers:
             grouped[layer.layer_name] = grouped.get(layer.layer_name, 0.0) + layer.cycles
         return grouped
 
     def cycles_by_step(self) -> Dict[int, float]:
+        if self._arrays is not None:
+            a = self._arrays
+            steps, inverse = np.unique(a["step_index"], return_inverse=True)
+            sums = np.bincount(inverse, weights=a["cycles"])
+            return {int(step): float(sums[i]) for i, step in enumerate(steps)}
         grouped: Dict[int, float] = {}
         for layer in self.layers:
             grouped[layer.step_index] = grouped.get(layer.step_index, 0.0) + layer.cycles

@@ -9,7 +9,7 @@ bit-exactness property tests in ``tests/test_exactness.py`` meaningful.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -26,12 +26,22 @@ __all__ = [
     "avg_pool2d",
     "upsample_nearest",
     "sinusoidal_embedding",
+    "scratch_buffer",
 ]
+
+# Re-exported for the layer hot paths; see repro.scratch for the contract
+# (the "pad" tag's zero border is this module's own invariant - only the
+# interior of that buffer is ever written, so the border stays zero).
+from ..scratch import scratch_buffer
 
 
 def silu(x: np.ndarray) -> np.ndarray:
     """SiLU / swish: ``x * sigmoid(x)`` computed stably for large ``|x|``."""
-    return x / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+    t = np.clip(x, -60.0, 60.0, out=scratch_buffer("silu", x.shape, x.dtype))
+    np.negative(t, out=t)
+    np.exp(t, out=t)
+    t += 1.0
+    return x / t
 
 
 def gelu(x: np.ndarray) -> np.ndarray:
@@ -41,9 +51,10 @@ def gelu(x: np.ndarray) -> np.ndarray:
 
 
 def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
-    shifted = x - np.max(x, axis=axis, keepdims=True)
-    exp = np.exp(shifted)
-    return exp / np.sum(exp, axis=axis, keepdims=True)
+    shifted = x - np.max(x, axis=axis, keepdims=True)  # fresh; reuse in place
+    np.exp(shifted, out=shifted)
+    shifted /= np.sum(shifted, axis=axis, keepdims=True)
+    return shifted
 
 
 def group_norm(
@@ -58,13 +69,24 @@ def group_norm(
     if c % num_groups:
         raise ValueError(f"channels {c} not divisible by groups {num_groups}")
     grouped = x.reshape(n, num_groups, c // num_groups, h, w)
-    mean = grouped.mean(axis=(2, 3, 4), keepdims=True)
-    var = grouped.var(axis=(2, 3, 4), keepdims=True)
-    normed = ((grouped - mean) / np.sqrt(var + eps)).reshape(n, c, h, w)
+    axes = (2, 3, 4)
+    mean = grouped.mean(axis=axes, keepdims=True)
+    # Centering once serves both the variance and the normalization;
+    # mean-of-squares over the centered values matches np.var bit for bit
+    # (identical reduction order) at one fewer full pass over the data.
+    # The squared temporary must inherit ``centered``'s memory layout (which
+    # follows the input's - conv outputs arrive as transposed views): the
+    # mean reduction's summation order depends on layout, and a C-contiguous
+    # scratch here would change the result in the last ulp.
+    centered = grouped - mean
+    var = np.mean(centered * centered, axis=axes, keepdims=True)
+    var += eps
+    np.sqrt(var, out=var)
+    normed = np.divide(centered, var, out=centered).reshape(n, c, h, w)
     if weight is not None:
-        normed = normed * weight.reshape(1, c, 1, 1)
+        normed *= weight.reshape(1, c, 1, 1)
     if bias is not None:
-        normed = normed + bias.reshape(1, c, 1, 1)
+        normed += bias.reshape(1, c, 1, 1)
     return normed
 
 
@@ -76,29 +98,49 @@ def layer_norm(
 ) -> np.ndarray:
     """LayerNorm over the trailing dimension."""
     mean = x.mean(axis=-1, keepdims=True)
-    var = x.var(axis=-1, keepdims=True)
-    normed = (x - mean) / np.sqrt(var + eps)
+    centered = x - mean
+    var = np.mean(centered * centered, axis=-1, keepdims=True)
+    var += eps
+    np.sqrt(var, out=var)
+    normed = centered / var
     if weight is not None:
-        normed = normed * weight
+        normed *= weight
     if bias is not None:
-        normed = normed + bias
+        normed += bias
     return normed
 
 
 def im2col(
-    x: np.ndarray, kernel: int, stride: int = 1, padding: int = 0
+    x: np.ndarray,
+    kernel: int,
+    stride: int = 1,
+    padding: int = 0,
+    out: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, Tuple[int, int]]:
     """Unfold ``(N, C, H, W)`` into ``(N, out_h*out_w, C*k*k)`` patch rows.
 
     Rows are ordered by output spatial position (row-major).  That ordering is
     load-bearing for the Diffy-style spatial difference path, which differences
     *consecutive sliding windows* - i.e. consecutive rows of this matrix.
+
+    ``out``, when given with the right shape and dtype, receives the patch
+    rows in place (callers owning reusable buffers skip the per-call
+    allocation); otherwise a fresh array is returned.
     """
     n, c, h, w = x.shape
+    padded = None
     if padding:
-        x = np.pad(
-            x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
+        # Copy into a preallocated zero-bordered workspace instead of
+        # np.pad's fresh allocation: only the interior is ever written, so
+        # the zero border survives across reuses.  The padding width is part
+        # of the key - two calls whose padded shapes coincide but whose
+        # borders differ must not share a buffer, or stale interior values
+        # would masquerade as padding.
+        padded = scratch_buffer(
+            f"pad{padding}", (n, c, h + 2 * padding, w + 2 * padding), x.dtype
         )
+        padded[:, :, padding : padding + h, padding : padding + w] = x
+        x = padded
     ph, pw = x.shape[2], x.shape[3]
     out_h = (ph - kernel) // stride + 1
     out_w = (pw - kernel) // stride + 1
@@ -109,8 +151,17 @@ def im2col(
         strides=(s_n, s_c, s_h * stride, s_w * stride, s_h, s_w),
         writeable=False,
     )
-    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n, out_h * out_w, c * kernel * kernel)
-    return np.ascontiguousarray(cols), (out_h, out_w)
+    transposed = windows.transpose(0, 2, 3, 1, 4, 5)
+    if out is not None and out.shape == (n, out_h * out_w, c * kernel * kernel):
+        # copyto casts on the fly (e.g. float64 patches into a float32
+        # buffer for the provably-exact single-precision integer GEMM).
+        np.copyto(out.reshape(n, out_h, out_w, c, kernel, kernel), transposed)
+        return out, (out_h, out_w)
+    cols = transposed.reshape(n, out_h * out_w, c * kernel * kernel)
+    cols = np.ascontiguousarray(cols)
+    if padded is not None and np.shares_memory(cols, padded):
+        cols = cols.copy()  # detach from the reusable workspace
+    return cols, (out_h, out_w)
 
 
 def conv2d_from_cols(
@@ -142,7 +193,21 @@ def conv2d(
     padding: int = 0,
 ) -> np.ndarray:
     """2-D convolution via im2col; exact for integer-valued inputs."""
-    cols, out_hw = im2col(x, weight.shape[2], stride, padding)
+    kernel = weight.shape[2]
+    n, c, h, w = x.shape
+    out_h = (h + 2 * padding - kernel) // stride + 1
+    out_w = (w + 2 * padding - kernel) // stride + 1
+    # The patch rows are consumed by the matmul before this returns, so they
+    # can live in the shared per-thread scratch pool.
+    cols, out_hw = im2col(
+        x,
+        kernel,
+        stride,
+        padding,
+        out=scratch_buffer(
+            "conv2d-cols", (n, out_h * out_w, c * kernel * kernel), x.dtype
+        ),
+    )
     return conv2d_from_cols(cols, weight, out_hw, bias)
 
 
@@ -167,11 +232,26 @@ def upsample_nearest(x: np.ndarray, scale: int = 2) -> np.ndarray:
     return x.repeat(scale, axis=2).repeat(scale, axis=3)
 
 
+# Frequency tables are tiny, deterministic in (dim, max_period), and
+# recomputed on every denoiser call otherwise; memoize them read-only.
+_FREQ_CACHE: Dict[Tuple[int, float], np.ndarray] = {}
+
+
+def _sinusoidal_freqs(dim: int, max_period: float) -> np.ndarray:
+    key = (dim, float(max_period))
+    freqs = _FREQ_CACHE.get(key)
+    if freqs is None:
+        half = dim // 2
+        freqs = np.exp(-np.log(max_period) * np.arange(half) / max(half, 1))
+        freqs.setflags(write=False)
+        _FREQ_CACHE[key] = freqs
+    return freqs
+
+
 def sinusoidal_embedding(timesteps: np.ndarray, dim: int, max_period: float = 10000.0) -> np.ndarray:
     """Transformer-style sinusoidal timestep embedding ``(len(t), dim)``."""
     timesteps = np.atleast_1d(np.asarray(timesteps, dtype=np.float64))
-    half = dim // 2
-    freqs = np.exp(-np.log(max_period) * np.arange(half) / max(half, 1))
+    freqs = _sinusoidal_freqs(dim, max_period)
     args = timesteps[:, None] * freqs[None, :]
     emb = np.concatenate([np.cos(args), np.sin(args)], axis=-1)
     if dim % 2:

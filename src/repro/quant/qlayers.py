@@ -25,9 +25,9 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from ..core.bitwidth import BitWidthStats, classify
+from ..core.bitwidth import BitWidthStats, classify, classify_many
 from ..core.modes import ExecutionMode
-from ..core.trace import RichLayerStep, record_step
+from ..core.trace import RichLayerStep, TraceRecorder, record_step
 from ..nn import functional as F
 from ..nn.attention import Attention
 from ..nn.layers import Conv2d, Linear
@@ -51,6 +51,18 @@ def _flatten_rows(x: np.ndarray) -> np.ndarray:
     return x.reshape(-1, x.shape[-1])
 
 
+def _max_product(bits: int) -> int:
+    """Worst-case magnitude of one multiply in the difference algebra.
+
+    Quantized values are clipped to |q| <= 2^(bits-1), but *temporal and
+    spatial differences* of two such values span up to 2^bits - 1.  Every
+    GEMM in the Ditto paths multiplies at most (difference x quantized
+    value), so the per-term bound that the float32 exactness gate must
+    honour is 2^(2*bits - 1), not 2^(2*(bits-1)).
+    """
+    return 1 << (2 * bits - 1)
+
+
 def _spatial_diff_rows(mat: np.ndarray) -> np.ndarray:
     """Difference consecutive rows; the first row stays original (dense)."""
     d = mat.copy()
@@ -59,11 +71,52 @@ def _spatial_diff_rows(mat: np.ndarray) -> np.ndarray:
     return d
 
 
-def _merge_classify(*arrays: np.ndarray) -> BitWidthStats:
-    stats = BitWidthStats.empty()
-    for arr in arrays:
-        stats = stats.merge(classify(arr))
-    return stats
+def _diff_scratch_dtype(src_dtype: np.dtype):
+    """Storage dtype for spatial-difference scratch buffers.
+
+    Layers on the provably-exact float32 path carry quantized values of at
+    most ~2^13 magnitude, so their row differences fit int16 exactly - and
+    the bit-width classifier has a 2-byte fast path for that dtype.  The
+    float64 route keeps float scratch (values there may come from wider
+    quantizers).
+    """
+    return np.int16 if src_dtype == np.float32 else src_dtype
+
+
+def _row_diff_stats(mat: np.ndarray) -> BitWidthStats:
+    """Stats of Diffy row differencing, ``classify(_spatial_diff_rows(mat))``.
+
+    The token-row matrices this sees (linear / attention operands) are small,
+    so one fused scan of a scratch-buffered difference image beats scanning
+    the first row and the differences separately.
+    """
+    if mat.shape[0] <= 1:
+        return classify(mat)
+    buf = F.scratch_buffer("rowdiff", mat.shape, _diff_scratch_dtype(mat.dtype))
+    buf[:1] = mat[:1]  # exact: values are small integers
+    np.subtract(mat[1:], mat[:-1], out=buf[1:], casting="unsafe")
+    return classify(buf)
+
+
+def _cols_spatial_stats(cols: np.ndarray) -> BitWidthStats:
+    """Diffy stats over im2col patch rows, differenced per batch image.
+
+    Equivalent to ``classify(concatenate([_spatial_diff_rows(b) for b in
+    cols]))``: within each batch entry the first sliding window stays dense
+    and consecutive windows are differenced, all in one fused pass.
+    """
+    if cols.shape[1] <= 1:
+        return classify_many(cols)
+    diff_shape = (cols.shape[0], cols.shape[1] - 1, cols.shape[2])
+    diff = np.subtract(
+        cols[:, 1:],
+        cols[:, :-1],
+        out=F.scratch_buffer(
+            "coldiff", diff_shape, _diff_scratch_dtype(cols.dtype)
+        ),
+        casting="unsafe",
+    )
+    return classify_many(cols[:, :1], diff)
 
 
 class QLayerBase(Module):
@@ -101,7 +154,12 @@ class QLayerBase(Module):
         # with Q-Diffusion/TDQ requires.
         if self._prev_scale is not None and self._prev_scale != self.input_quant.scale:
             return None
-        return q_in - prev
+        # The difference is consumed within this forward (matmul operand
+        # and/or classification) before any other layer runs, so it can live
+        # in the shared per-thread scratch pool.
+        return np.subtract(
+            q_in, prev, out=F.scratch_buffer("temporal-diff", q_in.shape, q_in.dtype)
+        )
 
     def _effective_mode(self, diff: Optional[np.ndarray]) -> ExecutionMode:
         if self.mode is ExecutionMode.TEMPORAL and diff is None:
@@ -150,6 +208,12 @@ class QLinear(QLayerBase):
             weight, bits, per_channel
         )
         self.bias = None if bias is None else np.array(bias, dtype=np.float64)
+        # See QConv2d: the f32 integer GEMM is exact while every partial dot
+        # product stays inside float32's 2^24 exact-integer range.
+        self._use_f32 = self.in_features * _max_product(bits) < (1 << 24)
+        self._q_weight_f32 = (
+            self.q_weight.astype(np.float32) if self._use_f32 else None
+        )
 
     @classmethod
     def from_float(
@@ -159,29 +223,39 @@ class QLinear(QLayerBase):
         return cls(layer.weight.data, bias, bits, per_channel)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        q_in = self.input_quant.quantize(x)
+        q_in = self.input_quant.quantize(
+            x, out_dtype=np.float32 if self._use_f32 else None
+        )
         diff = self._temporal_diff(q_in)
         mode = self._effective_mode(diff)
+        q_weight = self._q_weight_f32 if self._use_f32 else self.q_weight
         if mode is ExecutionMode.TEMPORAL:
-            out_int = self._prev_out_int + diff @ self.q_weight.T
+            # float64 + float32 upcasts exactly; the sum runs in float64.
+            out_int = self._prev_out_int + diff @ q_weight.T
         else:
             # Dense and spatial paths share arithmetic: the spatial path's
             # row-cumulative reconstruction telescopes to the plain matmul.
-            out_int = q_in @ self.q_weight.T
+            out_int = q_in @ q_weight.T
+            if out_int.dtype != np.float64:
+                out_int = out_int.astype(np.float64)
         # weight_scale is a scalar (per-tensor) or an (out,) vector
         # (per-channel); both broadcast over the trailing output dim.
         out = out_int * (self.input_quant.scale * self.weight_scale)
         if self.bias is not None:
-            out = out + self.bias
+            out += self.bias
         self._record(q_in, diff, out_int)
-        self._prev_q_in = q_in
-        self._prev_out_int = out_int
-        self._prev_scale = self.input_quant.scale
+        # Plain state fields: skip Module.__setattr__'s registration checks.
+        d = self.__dict__
+        d["_prev_q_in"] = q_in
+        d["_prev_out_int"] = out_int
+        d["_prev_scale"] = self.input_quant.scale
         return out
 
     def _record(
         self, q_in: np.ndarray, diff: Optional[np.ndarray], out_int: np.ndarray
     ) -> None:
+        if TraceRecorder.current() is None:
+            return  # nobody is listening; skip the stats passes entirely
         rows = _flatten_rows(q_in)
         macs = rows.shape[0] * self.in_features * self.out_features
         record_step(
@@ -195,7 +269,7 @@ class QLinear(QLayerBase):
                 weight_elems=int(self.q_weight.size),
                 data_elems=int(q_in.size),
                 stats_dense=classify(q_in),
-                stats_spatial=classify(_spatial_diff_rows(rows)),
+                stats_spatial=_row_diff_stats(rows),
                 stats_temporal=None if diff is None else classify(diff),
                 sub_ops_temporal=1,
                 vpu_elems=int(out_int.size) if self.nonlinear_after else 0,
@@ -233,6 +307,33 @@ class QConv2d(QLayerBase):
             weight, bits, per_channel
         )
         self.bias = None if bias is None else np.array(bias, dtype=np.float64)
+        self._prev_cols: Optional[np.ndarray] = None
+        # Ping-pong pair of per-layer im2col buffers: the forward pass
+        # unfolds into one while the other still holds the previous step's
+        # cols (the temporal-difference operand), avoiding a multi-hundred-KB
+        # allocation per conv execution.
+        self._cols_bufs: list = [None, None]
+        self._cols_flip = 0
+        # Single-precision integer GEMM, used only when provably exact: every
+        # partial dot product must stay inside float32's 2^24 exact-integer
+        # range for the worst-case operands (see _max_product - temporal
+        # *differences* span twice the quantized range).  Then the f32 kernel
+        # is bit-exact while halving unfold/stat memory traffic and doubling
+        # GEMM rate.
+        dot_len = self.in_channels * self.kernel_size * self.kernel_size
+        self._use_f32 = dot_len * _max_product(bits) < (1 << 24)
+        self._q_weight_f32 = (
+            self.q_weight.astype(np.float32) if self._use_f32 else None
+        )
+        self._cols_dtype = np.dtype(np.float32 if self._use_f32 else np.float64)
+
+    def _cols_buffer(self, shape: Tuple[int, int, int]) -> np.ndarray:
+        self._cols_flip ^= 1
+        buf = self._cols_bufs[self._cols_flip]
+        if buf is None or buf.shape != shape:
+            buf = np.empty(shape, dtype=self._cols_dtype)
+            self._cols_bufs[self._cols_flip] = buf
+        return buf
 
     @classmethod
     def from_float(
@@ -243,35 +344,78 @@ class QConv2d(QLayerBase):
             layer.weight.data, bias, layer.stride, layer.padding, bits, per_channel
         )
 
+    def reset_state(self) -> None:
+        super().reset_state()
+        self._prev_cols = None
+
     def forward(self, x: np.ndarray) -> np.ndarray:
-        q_in = self.input_quant.quantize(x)
+        # Values are exact small integers; float32 halves the memory traffic
+        # of every downstream scan (diff, stats, unfold).
+        q_in = self.input_quant.quantize(
+            x, out_dtype=np.float32 if self._use_f32 else None
+        )
         diff = self._temporal_diff(q_in)
         mode = self._effective_mode(diff)
+        # Single-pass instrumentation: unfold once, share the patch rows
+        # between the integer matmul and the spatial-difference stats (and,
+        # via the cached previous-step cols, the temporal-difference matmul:
+        # im2col is linear, so im2col(q_in - prev) == cols - prev_cols).
+        n, _, h, w = q_in.shape
+        out_h = (h + 2 * self.padding - self.kernel_size) // self.stride + 1
+        out_w = (w + 2 * self.padding - self.kernel_size) // self.stride + 1
+        dot_len = self.in_channels * self.kernel_size * self.kernel_size
+        cols, out_hw = F.im2col(
+            q_in,
+            self.kernel_size,
+            self.stride,
+            self.padding,
+            out=self._cols_buffer((n, out_h * out_w, dot_len)),
+        )
+        prev_cols = getattr(self, "_prev_cols", None)
+        q_weight = self._q_weight_f32 if self._use_f32 else self.q_weight
         if mode is ExecutionMode.TEMPORAL:
-            out_int = self._prev_out_int + F.conv2d(
-                diff, self.q_weight, None, self.stride, self.padding
-            )
+            if prev_cols is not None and prev_cols.shape == cols.shape:
+                diff_cols = np.subtract(
+                    cols,
+                    prev_cols,
+                    out=F.scratch_buffer("tdiff", cols.shape, cols.dtype),
+                )
+                conv = F.conv2d_from_cols(diff_cols, q_weight, out_hw)
+            else:  # state predates the cols cache (defensive)
+                conv = F.conv2d(diff, self.q_weight, None, self.stride, self.padding)
+            # float64 + float32 upcasts exactly; the sum runs in float64.
+            out_int = self._prev_out_int + conv
         else:
-            out_int = F.conv2d(q_in, self.q_weight, None, self.stride, self.padding)
+            out_int = F.conv2d_from_cols(cols, q_weight, out_hw)
+            if out_int.dtype != np.float64:
+                out_int = out_int.astype(np.float64)
         w_scale = self.weight_scale
         if self.per_channel:
             w_scale = np.asarray(w_scale).reshape(1, -1, 1, 1)
         out = out_int * (self.input_quant.scale * w_scale)
         if self.bias is not None:
-            out = out + self.bias.reshape(1, -1, 1, 1)
-        self._record(q_in, diff, out_int)
-        self._prev_q_in = q_in
-        self._prev_out_int = out_int
-        self._prev_scale = self.input_quant.scale
+            out += self.bias.reshape(1, -1, 1, 1)
+        self._record(q_in, diff, out_int, cols)
+        # Plain state fields: skip Module.__setattr__'s registration checks.
+        d = self.__dict__
+        d["_prev_q_in"] = q_in
+        d["_prev_out_int"] = out_int
+        d["_prev_scale"] = self.input_quant.scale
+        d["_prev_cols"] = cols
         return out
 
     def _record(
-        self, q_in: np.ndarray, diff: Optional[np.ndarray], out_int: np.ndarray
+        self,
+        q_in: np.ndarray,
+        diff: Optional[np.ndarray],
+        out_int: np.ndarray,
+        cols: np.ndarray,
     ) -> None:
+        if TraceRecorder.current() is None:
+            return  # nobody is listening; skip the stats passes entirely
         # Spatial (Diffy) differences live between consecutive sliding
-        # windows, i.e. consecutive rows of the im2col matrix.
-        cols, _ = F.im2col(q_in, self.kernel_size, self.stride, self.padding)
-        spatial = np.concatenate([_spatial_diff_rows(batch) for batch in cols])
+        # windows, i.e. consecutive rows of the im2col matrix - reused from
+        # the forward pass instead of unfolding a second time.
         dot_len = self.in_channels * self.kernel_size * self.kernel_size
         macs = (out_int.size // self.out_channels) * dot_len * self.out_channels
         record_step(
@@ -285,7 +429,7 @@ class QConv2d(QLayerBase):
                 weight_elems=int(self.q_weight.size),
                 data_elems=int(q_in.size),
                 stats_dense=classify(q_in),
-                stats_spatial=classify(spatial),
+                stats_spatial=_cols_spatial_stats(cols),
                 stats_temporal=None if diff is None else classify(diff),
                 sub_ops_temporal=1,
                 vpu_elems=int(out_int.size) if self.nonlinear_after else 0,
@@ -383,13 +527,20 @@ class QAttention(QLayerBase):
         q = self._split(q_full)
         k = self._split(k_full)
         v = self._split(v_full)
-        qq = self.q_quant.quantize(q)
-        qk = self.k_quant.quantize(k)
-        qv = self.v_quant.quantize(v)
+        # Exact-f32 gating for the activation x activation matmuls: the
+        # longest dot product runs over max(head_dim, token count) operands.
+        inner = max(self.head_dim, k.shape[2])
+        f32_ok = inner * _max_product(self.bits) < (1 << 24)
+        dtype = np.float32 if f32_ok else None
+        qq = self.q_quant.quantize(q, out_dtype=dtype)
+        qk = self.k_quant.quantize(k, out_dtype=dtype)
+        qv = self.v_quant.quantize(v, out_dtype=dtype)
         s_int = self._qk_matmul(qq, qk)
         scores = s_int * (self.q_quant.scale * self.k_quant.scale) / np.sqrt(self.head_dim)
         probs = F.softmax(scores, axis=-1)
-        qp = self.p_quant.quantize(probs)
+        qp = self.p_quant.quantize(
+            probs, out_dtype=np.float32 if qv.dtype == np.float32 else None
+        )
         o_int = self._pv_matmul(qp, qv)
         out = o_int * (self.p_quant.scale * self.v_quant.scale)
         b, h, t, d = out.shape
@@ -425,6 +576,8 @@ class QAttention(QLayerBase):
                 s_int = prev_s + qq @ (dk.transpose(0, 1, 3, 2)) + dq @ prev_k.transpose(0, 1, 3, 2)
         else:
             s_int = qq @ kt
+        if s_int.dtype != np.float64:  # exact-f32 GEMM, f64 state downstream
+            s_int = s_int.astype(np.float64)
         self._record_matmul(
             suffix="qk",
             data=qq,
@@ -458,6 +611,8 @@ class QAttention(QLayerBase):
                 o_int = prev_o + qp @ dv + dp @ prev_v
         else:
             o_int = qp @ qv
+        if o_int.dtype != np.float64:  # exact-f32 GEMM, f64 state downstream
+            o_int = o_int.astype(np.float64)
         self._record_matmul(
             suffix="pv",
             data=qp,
@@ -484,6 +639,8 @@ class QAttention(QLayerBase):
         other_is_weight: bool,
         vpu_out: bool,
     ) -> None:
+        if TraceRecorder.current() is None:
+            return  # nobody is listening; skip the stats passes entirely
         b, h, t_data, inner = data.shape
         t_other = other.shape[2]
         macs = b * h * t_data * t_other * inner
@@ -494,16 +651,16 @@ class QAttention(QLayerBase):
             in_elems = data.size
             weight_elems = other.size
         else:
-            stats_dense = _merge_classify(data, other)
+            stats_dense = classify_many(data, other)
             if d_data is None or d_other is None:
                 stats_temporal = None
             else:
-                stats_temporal = _merge_classify(d_data, d_other)
+                stats_temporal = classify_many(d_data, d_other)
             sub_ops = 2
             in_elems = data.size + other.size
             weight_elems = 0
         token_rows = data.reshape(-1, data.shape[-1])
-        stats_spatial = classify(_spatial_diff_rows(token_rows))
+        stats_spatial = _row_diff_stats(token_rows)
         if not other_is_weight:
             stats_spatial = stats_spatial.merge(classify(other))
         record_step(
@@ -534,8 +691,6 @@ class QAttention(QLayerBase):
 
 
 def _current_step() -> int:
-    from ..core.trace import TraceRecorder
-
     recorder = TraceRecorder.current()
     return recorder.step_index if recorder is not None else 0
 

@@ -17,6 +17,8 @@ from typing import Optional
 
 import numpy as np
 
+from ..scratch import scratch_buffer
+
 __all__ = ["SymmetricQuantizer", "quantize", "dequantize", "qrange"]
 
 
@@ -25,17 +27,35 @@ def qrange(bits: int) -> tuple:
     return -(1 << (bits - 1)), (1 << (bits - 1)) - 1
 
 
-def quantize(x: np.ndarray, scale: float, bits: int = 8) -> np.ndarray:
+def quantize(
+    x: np.ndarray, scale: float, bits: int = 8, out_dtype=None
+) -> np.ndarray:
     """Round-to-nearest symmetric quantization to signed integers.
 
-    Returns float64 arrays holding exact integer values: integer arithmetic
-    on them (matmuls, subtraction) is exact well past the 2^53 limit any of
-    our layer shapes can reach, while staying on numpy's fast BLAS path.
+    Returns float arrays holding exact integer values: integer arithmetic on
+    them (matmuls, subtraction) is exact well inside the float precision any
+    of our layer shapes can reach, while staying on numpy's fast BLAS path.
+    The division and rounding always run in the input precision (float64 for
+    float64 inputs - the rounding decision must not change); ``out_dtype``
+    only selects the storage dtype of the (exact-integer) result, letting
+    layers on the provably-exact float32 path skip a separate cast pass.
     """
     if scale <= 0.0:
         raise ValueError(f"scale must be positive, got {scale}")
     qmin, qmax = qrange(bits)
-    return np.clip(np.rint(x / scale), qmin, qmax)
+    if not isinstance(x, np.ndarray):
+        return np.clip(np.rint(x / scale), qmin, qmax)
+    if out_dtype is not None and np.dtype(out_dtype) != x.dtype:
+        # The full-precision quotient is a transient here: rint computes in
+        # the input precision and cast-stores the exact integer result
+        # directly into the (fresh) target buffer.
+        q = np.divide(x, scale, out=scratch_buffer("quantize-div", x.shape, x.dtype))
+        q = np.rint(q, out=np.empty(q.shape, dtype=out_dtype), casting="same_kind")
+    else:
+        # One temporary instead of three: divide, then round/clip in place.
+        q = x / scale
+        q = np.rint(q, out=q)
+    return np.clip(q, qmin, qmax, out=q)
 
 
 def dequantize(q: np.ndarray, scale: float) -> np.ndarray:
@@ -63,7 +83,8 @@ class SymmetricQuantizer:
         """
         if x.size == 0:
             return
-        peak = float(np.max(np.abs(x)))
+        # max(|x|) without materializing |x|: two allocation-free reductions.
+        peak = float(max(np.max(x), -np.min(x)))
         if not np.isfinite(peak):
             raise ValueError("non-finite values reached the quantizer")
         self._observed_max = max(self._observed_max, peak)
@@ -86,9 +107,9 @@ class SymmetricQuantizer:
         return self.scale
 
     # -- conversion -----------------------------------------------------------
-    def quantize(self, x: np.ndarray) -> np.ndarray:
+    def quantize(self, x: np.ndarray, out_dtype=None) -> np.ndarray:
         scale = self.ensure_scale(x)
-        return quantize(x, scale, self.bits)
+        return quantize(x, scale, self.bits, out_dtype=out_dtype)
 
     def dequantize(self, q: np.ndarray) -> np.ndarray:
         if self.scale is None:

@@ -129,8 +129,8 @@ class TimestepClusteredQuantizer(SymmetricQuantizer):
         # Uncalibrated fallback: behave like the sticky base quantizer.
         return super().ensure_scale(x)
 
-    def quantize(self, x: np.ndarray) -> np.ndarray:
-        return quantize(x, self.ensure_scale(x), self.bits)
+    def quantize(self, x: np.ndarray, out_dtype=None) -> np.ndarray:
+        return quantize(x, self.ensure_scale(x), self.bits, out_dtype=out_dtype)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

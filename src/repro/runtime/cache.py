@@ -7,6 +7,13 @@ cache is safe against concurrent writers (atomic rename via
 that fails to load is deleted and reported as a miss, so the caller simply
 recomputes and overwrites it.
 
+Traces are persisted in their compact columnar form: before pickling, any
+stored value exposing ``seal()`` (or holding a sealable ``rich_trace`` /
+``trace`` attribute, like :class:`~repro.core.engine.EngineResult`) has its
+columns sealed into flat numpy arrays, so entries are a handful of arrays
+instead of one object graph per layer-step record - smaller pickles and far
+faster warm loads.
+
 The default location is ``$REPRO_CACHE_DIR`` if set, else
 ``~/.cache/ditto-repro``.
 """
@@ -23,6 +30,14 @@ from ..export import dump_pickle, load_pickle
 __all__ = ["CacheStats", "ResultCache", "default_cache_dir"]
 
 _ENV_VAR = "REPRO_CACHE_DIR"
+
+
+def _seal_for_storage(value: Any) -> None:
+    """Seal columnar traces inside ``value`` ahead of pickling."""
+    for target in (value, getattr(value, "rich_trace", None), getattr(value, "trace", None)):
+        seal = getattr(target, "seal", None)
+        if callable(seal):
+            seal()
 
 
 def default_cache_dir() -> Path:
@@ -98,6 +113,7 @@ class ResultCache:
     def put(self, key: str, value: Any) -> None:
         if not self.enabled:
             return
+        _seal_for_storage(value)
         dump_pickle(value, self.path_for(key))
         self.stats.stores += 1
 

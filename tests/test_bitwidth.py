@@ -54,6 +54,50 @@ def test_required_bits_reference_values():
     assert bits.tolist() == [0, 2, 1, 4, 4, 5, 5, 8, 8]
 
 
+def _required_bits_reference(v: int) -> int:
+    """Exact scalar reference: signed bit-width via int.bit_length."""
+    if v == 0:
+        return 0
+    magnitude = v if v >= 0 else ~v  # ~v == -v - 1
+    return magnitude.bit_length() + 1
+
+
+def test_required_bits_int8_diff_range():
+    """Every value an int8 temporal/spatial difference can take: [-255, 255]."""
+    values = np.arange(-255, 256)
+    bits = required_bits(values)
+    expected = [_required_bits_reference(int(v)) for v in values]
+    assert bits.tolist() == expected
+
+
+def test_required_bits_power_of_two_boundaries():
+    """±2^k and neighbours up to the float53 precision cliff and beyond.
+
+    The old float ``ceil(log2(v + 1))`` implementation went wrong once
+    ``v + 1`` stopped being representable: ``2**53`` classified as 54 bits
+    instead of 55.  The integer bit-length path must be exact everywhere.
+    """
+    exponents = [1, 2, 3, 4, 7, 8, 15, 23, 24, 31, 32, 52, 53, 62]
+    probes = []
+    for k in exponents:
+        for delta in (-1, 0, 1):
+            probes.extend([(1 << k) + delta, -((1 << k) + delta)])
+    values = np.array(probes, dtype=np.int64)
+    bits = required_bits(values)
+    expected = [_required_bits_reference(int(v)) for v in values]
+    assert bits.tolist() == expected
+
+
+def test_required_bits_int64_extremes():
+    values = np.array([np.iinfo(np.int64).min, np.iinfo(np.int64).max])
+    assert required_bits(values).tolist() == [64, 64]
+
+
+def test_required_bits_preserves_shape():
+    values = np.array([[0, 3], [-8, 127]])
+    assert required_bits(values).shape == (2, 2)
+
+
 def test_4bit_boundary_consistency():
     """classify's low bucket must agree with required_bits <= 4."""
     values = np.arange(-128, 128)

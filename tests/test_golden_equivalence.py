@@ -1,0 +1,301 @@
+"""Golden-equivalence suite for the single-pass/columnar instrumentation.
+
+Pins the three invariants the PR-2 perf rebuild must not move:
+
+* the columnar ``RichTrace``/``Trace`` stores round-trip exactly to their
+  dataclass views (append -> view -> append), including through pickle;
+* the fused ``classify_many`` equals merging per-array ``classify`` calls,
+  and the vectorized ``lower_modes``/accelerator columns equal the scalar
+  ``derive_layer_step``/``layer_cycles`` path record by record;
+* an instrumented engine run is *bit-exact* with the naive pre-refactor
+  formulation: plain (uninstrumented) dense generation produces the same
+  samples, and the recorded per-step ``BitWidthStats`` match a reference
+  implementation that unfolds twice, pads with ``np.pad`` and concatenates
+  per-batch row differences.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import ExecutionMode, RichTrace, classify, derive_layer_step
+from repro.core.bitwidth import BitWidthStats, classify_many
+from repro.core.trace import MODE_ID, Trace, TraceRecorder
+from repro.hw import build_accelerator
+from repro.nn import functional as F
+from repro.quant.qlayers import QConv2d
+
+from helpers import make_rich, make_tiny_engine
+
+
+def build_mixed_trace(num_steps=4):
+    trace = RichTrace()
+    for step in range(num_steps):
+        for name, kwargs in [
+            ("conv_a", {}),
+            ("attn.qk", {"sub_ops": 2}),
+            ("chained", {"chained": True}),
+            ("silu_fed", {"producer": "silu"}),
+        ]:
+            trace.append(
+                make_rich(step_index=step, name=name, temporal=step > 0, **kwargs)
+            )
+    return trace
+
+
+# -- columnar store <-> dataclass views --------------------------------------
+
+def test_rich_trace_view_round_trip():
+    trace = build_mixed_trace()
+    rebuilt = RichTrace(steps=list(trace))
+    assert list(rebuilt) == list(trace)
+    assert rebuilt.layer_names() == trace.layer_names()
+    assert rebuilt.total_macs() == trace.total_macs()
+    # negative indexing and slices behave like a list of records
+    assert trace[-1] == trace.steps[-1]
+    assert trace[1:3] == trace.steps[1:3]
+
+
+def test_rich_trace_pickle_round_trip():
+    trace = build_mixed_trace()
+    clone = pickle.loads(pickle.dumps(trace))
+    assert list(clone) == list(trace)
+    # sealed clones must accept further appends
+    clone.append(make_rich(step_index=9, name="late"))
+    assert len(clone) == len(trace) + 1
+    assert clone[-1].layer_name == "late"
+
+
+def test_lowered_trace_pickle_and_views():
+    lowered = build_mixed_trace().lower(lambda r: ExecutionMode.TEMPORAL)
+    clone = pickle.loads(pickle.dumps(lowered))
+    assert isinstance(clone, Trace)
+    assert list(clone) == list(lowered)
+    assert clone.total_bytes() == lowered.total_bytes()
+
+
+def test_recorder_appends_through_columnar_store():
+    rec = TraceRecorder()
+    rec.set_step(3)
+    step = make_rich(step_index=3, name="x")
+    with rec:
+        rec.record(step)
+    assert rec.trace[0] == step
+
+
+# -- fused classification ----------------------------------------------------
+
+def test_classify_many_equals_merged_classify():
+    rng = np.random.default_rng(7)
+    arrays = [
+        rng.integers(-260, 260, size=size).astype(dtype)
+        for size, dtype in [(1, np.int64), (97, np.float64), (1000, np.float32)]
+    ]
+    merged = BitWidthStats.empty()
+    for arr in arrays:
+        merged = merged.merge(classify(arr))
+    assert classify_many(*arrays) == merged
+
+
+def test_classify_f32_matches_f64():
+    rng = np.random.default_rng(11)
+    values = rng.integers(-510, 511, size=4096).astype(np.float64)
+    assert classify(values.astype(np.float32)) == classify(values)
+
+
+# -- vectorized lowering == scalar lowering ----------------------------------
+
+@pytest.mark.parametrize("bypass", ["chained", "sign_mask", "both", "none"])
+@pytest.mark.parametrize(
+    "mode", [ExecutionMode.DENSE, ExecutionMode.TEMPORAL, ExecutionMode.SPATIAL]
+)
+def test_lower_modes_matches_derive_layer_step(mode, bypass):
+    trace = build_mixed_trace()
+    lowered = trace.lower_modes(
+        np.full(len(trace), MODE_ID[mode], dtype=np.int64), bypass
+    )
+    for rich, got in zip(trace, lowered):
+        assert got == derive_layer_step(rich, mode, bypass)
+
+
+@pytest.mark.parametrize("hardware", ["ITC", "Diffy", "Ditto", "Cambricon-D", "GPU"])
+def test_vectorized_accelerator_matches_scalar(hardware):
+    accel = build_accelerator(hardware)
+    trace = build_mixed_trace().lower(
+        lambda r: ExecutionMode.TEMPORAL if r.has_temporal else ExecutionMode.SPATIAL
+    )
+    report = accel.run(trace)
+    for step, layer in zip(trace, report.layers):
+        ref = accel.layer_cycles(step)
+        assert layer.layer_name == ref.layer_name
+        assert layer.cycles == ref.cycles
+        assert layer.compute_cycles == ref.compute_cycles
+        assert layer.memory_cycles == ref.memory_cycles
+        assert layer.encode_cycles == ref.encode_cycles
+        assert layer.vpu_cycles == ref.vpu_cycles
+        assert layer.bytes_moved == ref.bytes_moved
+        assert set(layer.energy_pj) == set(ref.energy_pj)
+        for component, value in ref.energy_pj.items():
+            assert layer.energy_pj[component] == pytest.approx(value, rel=1e-12)
+    assert report.total_cycles == pytest.approx(
+        sum(accel.layer_cycles(s).cycles for s in trace), rel=1e-12
+    )
+
+
+# -- bit-exactness vs the pre-refactor formulation ---------------------------
+
+def _reference_conv_record(layer: QConv2d, q_in, diff):
+    """The pre-refactor stats math: second unfold, np.pad, concatenate."""
+
+    def naive_im2col(x, kernel, stride, padding):
+        if padding:
+            x = np.pad(
+                x,
+                ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+                mode="constant",
+            )
+        n, c, h, w = x.shape
+        out_h = (h - kernel) // stride + 1
+        out_w = (w - kernel) // stride + 1
+        rows = np.empty((n, out_h * out_w, c * kernel * kernel))
+        for b in range(n):
+            idx = 0
+            for i in range(out_h):
+                for j in range(out_w):
+                    patch = x[
+                        b,
+                        :,
+                        i * stride : i * stride + kernel,
+                        j * stride : j * stride + kernel,
+                    ]
+                    rows[b, idx] = patch.ravel()
+                    idx += 1
+        return rows
+
+    def spatial_diff_rows(mat):
+        d = mat.copy()
+        if mat.shape[0] > 1:
+            d[1:] -= mat[:-1]
+        return d
+
+    cols = naive_im2col(
+        np.asarray(q_in, dtype=np.float64),
+        layer.kernel_size,
+        layer.stride,
+        layer.padding,
+    )
+    spatial = np.concatenate([spatial_diff_rows(batch) for batch in cols])
+    return (
+        classify(np.asarray(q_in, dtype=np.float64)),
+        classify(spatial),
+        None if diff is None else classify(np.asarray(diff, dtype=np.float64)),
+    )
+
+
+@pytest.mark.parametrize("padding,stride", [(1, 1), (0, 1), (1, 2)])
+def test_conv_stats_match_naive_reference(padding, stride):
+    rng = np.random.default_rng(5)
+    weight = rng.standard_normal((6, 3, 3, 3))
+    layer = QConv2d(weight, None, stride=stride, padding=padding)
+    layer.layer_name = "conv"
+    x0 = rng.standard_normal((2, 3, 8, 8))
+    x1 = x0 + 0.05 * rng.standard_normal((2, 3, 8, 8))
+    for mode, x in [
+        (ExecutionMode.DENSE, x0),
+        (ExecutionMode.TEMPORAL, x1),
+    ]:
+        layer.mode = mode
+        with TraceRecorder() as rec:
+            layer(x)
+        record = rec.trace[0]
+        q_in = layer._prev_q_in
+        diff = None
+        if record.stats_temporal is not None:
+            # reconstruct the integer difference the layer classified
+            q_prev = layer.input_quant.quantize(x0)
+            diff = np.asarray(q_in, dtype=np.float64) - q_prev
+        dense, spatial, temporal = _reference_conv_record(layer, q_in, diff)
+        assert record.stats_dense == dense
+        assert record.stats_spatial == spatial
+        assert record.stats_temporal == temporal
+
+
+def test_f32_and_f64_conv_paths_identical():
+    rng = np.random.default_rng(9)
+    weight = rng.standard_normal((4, 2, 3, 3))
+    fast = QConv2d(weight, None, padding=1)
+    slow = QConv2d(weight, None, padding=1)
+    assert fast._use_f32
+    slow._use_f32 = False
+    slow._q_weight_f32 = None
+    slow._cols_dtype = np.dtype(np.float64)
+    for step in range(3):
+        x = rng.standard_normal((1, 2, 6, 6))
+        for layer in (fast, slow):
+            layer.mode = (
+                ExecutionMode.DENSE if step == 0 else ExecutionMode.TEMPORAL
+            )
+            layer.input_quant.scale = 0.05
+        with TraceRecorder() as rec_fast:
+            out_fast = fast(x)
+        with TraceRecorder() as rec_slow:
+            out_slow = slow(x)
+        np.testing.assert_array_equal(out_fast, out_slow)
+        assert rec_fast.trace[0] == rec_slow.trace[0]
+
+
+def test_f32_gate_covers_difference_range():
+    """The exactness gate must bound *difference* operands (2^bits - 1 wide).
+
+    A 64-channel 3x3 conv (dot_len 576) passes the naive dense-operand bound
+    (576 * 2^14 < 2^24) but a temporal-difference dot product can reach
+    576 * 255 * 128 > 2^24, where float32 accumulation rounds.  Such layers
+    must stay on the float64 path.
+    """
+    rng = np.random.default_rng(2)
+    wide = QConv2d(rng.standard_normal((4, 64, 3, 3)), None, padding=1)
+    assert not wide._use_f32  # dot_len 576 > 2^24 / 2^15
+    narrow = QConv2d(rng.standard_normal((4, 32, 3, 3)), None, padding=1)
+    assert narrow._use_f32  # dot_len 288 <= 511
+    # The reviewer's counterexample, end to end: saturated differences whose
+    # exact dot product is odd and above 2^24 must survive bit-exactly.
+    from repro.quant.qlayers import QLinear
+
+    lin = QLinear(np.ones((1, 1000)), None)
+    assert not lin._use_f32
+    lin.input_quant.scale = 1.0
+    lin.mode = ExecutionMode.DENSE
+    lin(np.full((1, 1000), -128.0))
+    lin.mode = ExecutionMode.TEMPORAL
+    out = lin(np.concatenate([[[127.0]], np.full((1, 999), 127.0)], axis=1))
+    # weights quantize to 127 with scale 1/127; the dequantized output is
+    # exactly 1000 * 127 * 127 / 127 - any f32 rounding in the temporal
+    # reconstruction (int dot 16_129_000 > 2^24) would show here.
+    assert float(out.ravel()[0]) == 1000 * 127
+
+
+def test_pad_workspace_not_shared_across_padding_widths():
+    """Two paddings with coinciding padded shapes must not share borders."""
+    rng = np.random.default_rng(4)
+    a = rng.standard_normal((1, 2, 32, 32))  # padded shape (1,2,34,34), p=1
+    b = rng.standard_normal((1, 2, 30, 30))  # padded shape (1,2,34,34), p=2
+    F.im2col(a, 3, 1, 1)  # dirty the p=1 workspace interior
+    cols, _ = F.im2col(b, 3, 1, 2)
+    ref = np.pad(b, ((0, 0), (0, 0), (2, 2), (2, 2)), mode="constant")
+    ref_cols, _ = F.im2col(ref, 3, 1, 0)
+    np.testing.assert_array_equal(cols, ref_cols)
+
+
+def test_instrumented_run_matches_plain_generation():
+    """Recording + single-pass sharing must not perturb the samples."""
+    engine = make_tiny_engine(num_steps=4)
+    result = engine.run(seed=123)
+    # Plain dense generation with no recorder and no temporal processing:
+    # the Ditto algorithm is bit-exact, so samples must be identical.
+    from repro.quant.qlayers import reset_model_state, set_model_mode
+
+    reset_model_state(engine.qmodel)
+    set_model_mode(engine.qmodel, ExecutionMode.DENSE)
+    plain = engine.pipeline.generate(1, np.random.default_rng(123))
+    np.testing.assert_array_equal(result.samples, plain)
