@@ -119,6 +119,7 @@ def run_study(
     designs: Optional[List[DesignPoint]] = None,
     seed: int = 0,
     step_clusters: int = 1,
+    batch_size: int = 1,
     engine_result: Optional[EngineResult] = None,
 ) -> BenchmarkStudy:
     """Run one benchmark end to end and evaluate the hardware designs.
@@ -126,7 +127,9 @@ def run_study(
     ``engine_result`` short-circuits the expensive engine construction and
     instrumented run: pass a result produced (and possibly cached) by
     :class:`repro.runtime.EngineRunner` and only the hardware-design
-    post-processing is performed.
+    post-processing is performed.  ``batch_size`` sizes the generated batch
+    of a fresh run (per-batch-element temporal state keeps the Ditto
+    statistics valid at any batch size).
     """
     spec = get_benchmark(benchmark)
     if engine_result is not None:
@@ -135,7 +138,7 @@ def run_study(
         engine = DittoEngine.from_benchmark(
             spec, num_steps=num_steps, step_clusters=step_clusters
         )
-        result = engine.run(seed=seed)
+        result = engine.run(batch_size=batch_size, seed=seed)
     design_results = evaluate_designs(designs or FIG13_DESIGNS, result.rich_trace)
     return BenchmarkStudy(
         benchmark=spec.name,

@@ -24,14 +24,14 @@ import numpy as np
 
 from .core import DittoEngine
 from .core.bitwidth import clear_classification_pool
-from .runtime import ResultCache, default_cache_dir
+from .runtime import ResultCache, default_cache_dir, normalize_batch_sizes
 from .runtime.hashing import engine_key
 from .scratch import clear_scratch
 from .workloads import get_benchmark
 
 __all__ = ["bench_benchmark", "run_bench", "DEFAULT_OUT", "clear_pools"]
 
-DEFAULT_OUT = "BENCH_PR2.json"
+DEFAULT_OUT = "BENCH_PR3.json"
 
 
 def clear_pools() -> None:
@@ -40,25 +40,13 @@ def clear_pools() -> None:
     clear_classification_pool()
 
 
-def bench_benchmark(
-    name: str,
-    repeats: int = 2,
-    seed: int = 0,
-    num_steps: Optional[int] = None,
-    cache_dir=None,
+def _bench_one_batch_size(
+    spec,
+    params: Dict[str, object],
+    repeats: int,
+    cache_dir,
 ) -> Dict[str, object]:
-    """Cold/warm timings for one benchmark; returns a JSON-ready record."""
-    spec = get_benchmark(name)
-    # One params dict drives BOTH the engine construction and the cache key,
-    # so the stored entry can never claim parameters that were not used.
-    params = {
-        "num_steps": num_steps if num_steps is not None else spec.num_steps,
-        "calibrate": True,
-        "calibration_seed": 11,
-        "step_clusters": 1,
-        "seed": seed,
-        "batch_size": 1,
-    }
+    """Cold build+run (best of ``repeats``) and warm load at one batch size."""
     cold_runs: List[Dict[str, float]] = []
     result = None
     for _ in range(max(repeats, 1)):
@@ -95,7 +83,9 @@ def bench_benchmark(
         warm_s = None  # null in JSON; NaN would break strict parsers
 
     trace = result.rich_trace
+    batch = int(params["batch_size"])
     return {
+        "batch_size": batch,
         "cold_build_s": best["build_s"],
         "cold_run_s": best["run_s"],
         "cold_total_s": best["total_s"],
@@ -104,8 +94,56 @@ def bench_benchmark(
         "records": len(trace),
         "steps": trace.num_steps(),
         "total_macs": trace.total_macs(),
+        "samples_per_cold_run_s": (
+            round(batch / best["run_s"], 3) if best["run_s"] else None
+        ),
         "samples_l1": float(np.abs(result.samples).sum()),  # drift canary
     }
+
+
+def bench_benchmark(
+    name: str,
+    repeats: int = 2,
+    seed: int = 0,
+    num_steps: Optional[int] = None,
+    batch_sizes: Optional[Sequence[int]] = None,
+    cache_dir=None,
+) -> Dict[str, object]:
+    """Cold/warm timings for one benchmark; returns a JSON-ready record.
+
+    ``batch_sizes`` (default ``[1]``) adds one cold build+run / warm load
+    measurement per generation batch size under ``by_batch_size``; the
+    top-level ``cold_*`` / ``warm_load_s`` fields mirror the first batch
+    size, so single-batch consumers keep reading the same keys.
+    """
+    spec = get_benchmark(name)
+    # First-occurrence order: the first size is the headline record; a
+    # duplicated size would re-run the cold measurement and silently
+    # overwrite its by_batch_size entry.
+    sizes = normalize_batch_sizes(batch_sizes or [1], preserve_order=True)
+    by_size: Dict[str, Dict[str, object]] = {}
+    for size in sizes:
+        # One params dict drives BOTH the engine construction and the cache
+        # key, so the stored entry can never claim parameters not used.
+        params = {
+            "num_steps": num_steps if num_steps is not None else spec.num_steps,
+            "calibrate": True,
+            "calibration_seed": 11,
+            "step_clusters": 1,
+            "seed": seed,
+            "batch_size": size,
+        }
+        by_size[str(size)] = _bench_one_batch_size(spec, params, repeats, cache_dir)
+    headline = by_size[str(sizes[0])]
+    record = {
+        key: headline[key]
+        for key in (
+            "cold_build_s", "cold_run_s", "cold_total_s", "cold_runs",
+            "warm_load_s", "records", "steps", "total_macs", "samples_l1",
+        )
+    }
+    record["by_batch_size"] = by_size
+    return record
 
 
 def run_bench(
@@ -114,6 +152,7 @@ def run_bench(
     quick: bool = False,
     seed: int = 0,
     num_steps: Optional[int] = None,
+    batch_sizes: Optional[Sequence[int]] = None,
     out_path: Optional[str] = None,
     baseline_s: Optional[float] = None,
     baseline_ref: Optional[str] = None,
@@ -127,21 +166,27 @@ def run_bench(
         if not benchmarks:
             benchmarks = ["DDPM"]
     names = list(benchmarks) if benchmarks else list(SUITE)
+    sizes = normalize_batch_sizes(batch_sizes or [1], preserve_order=True)
     results: Dict[str, object] = {}
     for name in names:
         results[name] = bench_benchmark(
             name, repeats=repeats, seed=seed, num_steps=num_steps,
-            cache_dir=cache_dir,
+            batch_sizes=sizes, cache_dir=cache_dir,
         )
     payload: Dict[str, object] = {
-        "schema": 1,
+        "schema": 2,
         "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "host": {
             "platform": platform.platform(),
             "python": platform.python_version(),
             "numpy": np.__version__,
         },
-        "config": {"repeats": repeats, "seed": seed, "num_steps": num_steps},
+        "config": {
+            "repeats": repeats,
+            "seed": seed,
+            "num_steps": num_steps,
+            "batch_sizes": sizes,
+        },
         "benchmarks": results,
     }
     if baseline_s is not None:

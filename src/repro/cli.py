@@ -12,10 +12,15 @@ Commands
     FP32 activation-similarity analysis (paper Figs. 3-4).
 ``sweep``
     Run every benchmark and print the Fig. 13-style summary matrix.
+``serve BENCH``
+    Simulate the paper's serving scenario: a request queue with a
+    configurable arrival pattern and micro-batching window driven at
+    ``--batch-sizes`` (default 1 2 4 8); reports throughput, latency
+    percentiles, and temporal-mode MAC savings per batch size.
 ``bench [BENCH ...]``
     Time the cold engine build+run and warm cache load per benchmark and
-    write machine-readable JSON (``--quick`` restricts to DDPM with one
-    repeat, for CI perf smoke).
+    batch size, and write machine-readable JSON (``--quick`` restricts to
+    DDPM with one repeat, for CI perf smoke).
 ``cache info|clear``
     Inspect or reclaim the on-disk result cache.
 
@@ -90,6 +95,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--clusters", type=int, default=1,
         help="timestep-clustered quantization (TDQ synergy); 1 = global scale",
     )
+    run_p.add_argument(
+        "--batch-size", type=int, default=1, metavar="N",
+        help="samples per generation batch (batch-N is bit-exact with N batch-1 runs)",
+    )
     # A single-benchmark run builds one engine, so --jobs has nothing to
     # parallelize; only the cache flags apply.
     _add_runtime_flags(run_p, jobs=False)
@@ -100,7 +109,50 @@ def build_parser() -> argparse.ArgumentParser:
     _add_runtime_flags(sim_p, jobs=False)
 
     sweep_p = sub.add_parser("sweep", help="run all benchmarks (Fig. 13 summary)")
+    sweep_p.add_argument(
+        "--batch-size", type=int, default=1, metavar="N",
+        help="generation batch size for every benchmark run",
+    )
     _add_runtime_flags(sweep_p)
+
+    serve_p = sub.add_parser(
+        "serve", help="simulate the serving scenario (queue + micro-batching)"
+    )
+    serve_p.add_argument("benchmark", choices=list(SUITE))
+    serve_p.add_argument(
+        "--batch-sizes", type=int, nargs="+", default=[1, 2, 4, 8],
+        metavar="N", help="maximum micro-batch sizes to sweep",
+    )
+    serve_p.add_argument(
+        "--requests", type=int, default=16, metavar="N",
+        help="number of requests in the simulated queue",
+    )
+    serve_p.add_argument(
+        "--rate", type=float, default=4.0, metavar="RPS",
+        help="mean request arrival rate (requests/second)",
+    )
+    serve_p.add_argument(
+        "--pattern", choices=["poisson", "uniform", "burst"], default="poisson",
+        help="arrival pattern of the request trace",
+    )
+    serve_p.add_argument(
+        "--window", type=float, default=0.25, metavar="SECONDS",
+        help="micro-batching window: max wait after the first queued request",
+    )
+    serve_p.add_argument("--steps", type=int, default=None, help="override step count")
+    serve_p.add_argument("--seed", type=int, default=0)
+    serve_p.add_argument(
+        "--guidance", type=float, default=None, metavar="SCALE",
+        help="classifier-free guidance scale (needs an uncond branch, e.g. SDM)",
+    )
+    serve_p.add_argument(
+        "--verify", action="store_true",
+        help="re-run one micro-batch request-by-request and assert bit-exactness",
+    )
+    serve_p.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the serving report as JSON",
+    )
 
     bench_p = sub.add_parser(
         "bench", help="time cold/warm engine runs, write JSON perf record"
@@ -117,8 +169,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--steps", type=int, default=None, help="override step count")
     bench_p.add_argument("--seed", type=int, default=0)
     bench_p.add_argument(
+        "--batch-size", type=int, nargs="+", default=[1], metavar="N",
+        dest="batch_sizes",
+        help="batch sizes to time (cold run + warm load recorded per size)",
+    )
+    bench_p.add_argument(
         "--out", default=None, metavar="PATH",
-        help="output JSON path (default: BENCH_PR2.json)",
+        help="output JSON path (default: BENCH_PR3.json)",
     )
     bench_p.add_argument(
         "--baseline", type=float, default=None, metavar="SECONDS",
@@ -158,6 +215,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         num_steps=args.steps,
         step_clusters=args.clusters,
         seed=args.seed,
+        batch_size=args.batch_size,
     )
     study = run_study(args.benchmark, engine_result=result)
     print(study.summary())
@@ -192,7 +250,7 @@ def _cmd_similarity(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     runner = _make_runner(args)
-    results = runner.run_suite()
+    results = runner.run_suite(batch_size=args.batch_size)
     rows = []
     for name in SUITE:
         study = run_study(name, engine_result=results[name])
@@ -216,6 +274,31 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .runtime.serving import simulate_serving
+
+    report = simulate_serving(
+        args.benchmark,
+        batch_sizes=args.batch_sizes,
+        num_requests=args.requests,
+        rate_rps=args.rate,
+        pattern=args.pattern,
+        window_s=args.window,
+        num_steps=args.steps,
+        seed=args.seed,
+        guidance_scale=args.guidance,
+        verify_invariance=args.verify,
+    )
+    print(report.summary())
+    if args.out:
+        import json
+        from pathlib import Path
+
+        Path(args.out).write_text(json.dumps(report.to_json(), indent=1) + "\n")
+        print(f"\nwrote {args.out}")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .bench import DEFAULT_OUT, run_bench
 
@@ -230,18 +313,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         quick=args.quick,
         seed=args.seed,
         num_steps=args.steps,
+        batch_sizes=args.batch_sizes,
         out_path=out_path,
         baseline_s=args.baseline,
         baseline_ref=args.baseline_ref,
         cache_dir=args.cache_dir,
     )
-    rows = [
-        [name, rec["cold_build_s"], rec["cold_run_s"], rec["cold_total_s"],
-         rec["warm_load_s"], rec["records"]]
-        for name, rec in payload["benchmarks"].items()
-    ]
+    rows = []
+    for name, rec in payload["benchmarks"].items():
+        for size, sized in rec["by_batch_size"].items():
+            rows.append(
+                [name, int(size), sized["cold_build_s"], sized["cold_run_s"],
+                 sized["cold_total_s"], sized["warm_load_s"], sized["records"]]
+            )
     print(format_table(
-        ["bench", "build s", "run s", "cold s", "warm s", "records"], rows
+        ["bench", "batch", "build s", "run s", "cold s", "warm s", "records"],
+        rows,
     ))
     baseline = payload.get("baseline")
     if baseline:
@@ -275,6 +362,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_similarity(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "cache":

@@ -89,6 +89,8 @@ class DittoEngine:
         benchmark: str = "custom",
         calibration_seed: int = 11,
         step_clusters: int = 1,
+        guidance_scale: Optional[float] = None,
+        uncond_conditioning: Optional[dict] = None,
     ) -> "DittoEngine":
         """Quantize ``fp_model`` (optionally trajectory-calibrated) and wrap it.
 
@@ -97,11 +99,21 @@ class DittoEngine:
         ``step_clusters > 1`` switches to timestep-clustered quantization
         (TDQ synergy, see :mod:`repro.quant.tdq`): each cluster of steps gets
         its own, tighter scale, and the engine re-runs one dense step at each
-        cluster boundary.  The model is quantized *in place*.
+        cluster boundary.  ``guidance_scale`` enables classifier-free
+        guidance (the calibration trajectory then covers the stacked
+        [cond; uncond] layout the serving run uses).  The model is quantized
+        *in place*.
         """
         schedule = DiffusionSchedule(num_train_steps)
         sampler = make_sampler(sampler_name, schedule, num_steps)
-        pipeline = GenerationPipeline(fp_model, sampler, sample_shape, conditioning)
+        pipeline = GenerationPipeline(
+            fp_model,
+            sampler,
+            sample_shape,
+            conditioning,
+            guidance_scale=guidance_scale,
+            uncond_conditioning=uncond_conditioning,
+        )
         rng = np.random.default_rng(calibration_seed)
         if step_clusters > 1:
             from ..quant.calibration import calibrate_model_clustered
@@ -147,10 +159,27 @@ class DittoEngine:
         calibrate: bool = True,
         calibration_seed: int = 11,
         step_clusters: int = 1,
+        guidance_scale: Optional[float] = None,
     ) -> "DittoEngine":
-        """Build an engine from a Table I :class:`BenchmarkSpec`."""
+        """Build an engine from a Table I :class:`BenchmarkSpec`.
+
+        ``guidance_scale`` overrides the spec's default guidance; passing a
+        value requires the spec to provide ``build_uncond_conditioning``
+        (e.g. the empty-prompt embedding for text-conditional benchmarks).
+        """
         fp_model = spec.build_model()
         conditioning = spec.build_conditioning()
+        if guidance_scale is None:
+            guidance_scale = getattr(spec, "guidance_scale", None)
+        uncond_conditioning = None
+        if guidance_scale is not None:
+            build_uncond = getattr(spec, "build_uncond_conditioning", None)
+            if build_uncond is None:
+                raise ValueError(
+                    f"benchmark {spec.name!r} has no build_uncond_conditioning; "
+                    "classifier-free guidance needs an unconditional branch"
+                )
+            uncond_conditioning = build_uncond()
         return cls.from_model(
             fp_model,
             sampler_name=spec.sampler,
@@ -161,26 +190,109 @@ class DittoEngine:
             benchmark=spec.name,
             calibration_seed=calibration_seed,
             step_clusters=step_clusters,
+            guidance_scale=guidance_scale,
+            uncond_conditioning=uncond_conditioning,
         )
 
     # -- static analysis -----------------------------------------------------
     def analyze_graph(self, batch_size: int = 1) -> Dict[str, LayerStaticInfo]:
-        """Defo static pass: annotate layers via one probe invocation."""
+        """Defo static pass: annotate layers via one probe invocation.
+
+        The probe draws *one* sample and tiles it along the batch axis.  This
+        matters beyond graph analysis: quantizers still uncalibrated at this
+        point (attention's internal Q/K/V quantizers, every layer when
+        ``calibrate=False``) freeze their scale on the first tensor they see -
+        the probe.  Identical rows make the frozen scales independent of the
+        batch size, which is what lets a batch-N run reproduce N batch-1 runs
+        bit-exactly (the serving contract pinned by the batched-state tests).
+        """
         reset_model_state(self.qmodel)
         set_model_mode(self.qmodel, ExecutionMode.DENSE)
-        shape = (batch_size,) + self.pipeline.sample_shape
-        probe = np.random.default_rng(0).standard_normal(shape)
-        t_first = int(self.pipeline.sampler.timesteps[0])
-        info = GraphAnalyzer(self.qmodel).analyze(
-            lambda: self.pipeline.predict_noise(probe, t_first)
-        )
+        probe_fn = self._probe_fn(batch_size)
+        info = GraphAnalyzer(self.qmodel).analyze(probe_fn)
         reset_model_state(self.qmodel)
         return info
 
+    def _probe_fn(self, batch_size: int):
+        """One dense probe invocation over a single sample tiled to batch."""
+        shape = (1,) + self.pipeline.sample_shape
+        probe = np.random.default_rng(0).standard_normal(shape)
+        if batch_size > 1:
+            probe = np.repeat(probe, batch_size, axis=0)
+        t_first = int(self.pipeline.sampler.timesteps[0])
+        return lambda: self.pipeline.predict_noise(probe, t_first)
+
+    def _freeze_scales(self, batch_size: int) -> None:
+        """The probe forward alone (no graph hooks): freezes every sticky
+        quantizer scale exactly as :meth:`analyze_graph` would, without
+        paying for static-info construction the caller will discard.
+
+        Skipped entirely once every sticky quantizer is calibrated - scales
+        survive ``reset_state`` across runs, so in a serving loop only the
+        first uninstrumented run pays for the probe forward.
+        """
+        if self._scales_frozen():
+            return
+        reset_model_state(self.qmodel)
+        set_model_mode(self.qmodel, ExecutionMode.DENSE)
+        self._probe_fn(batch_size)()
+        reset_model_state(self.qmodel)
+
+    def _scales_frozen(self) -> bool:
+        from ..quant.qlayers import QAttention, iter_qlayers
+
+        for _, qlayer in iter_qlayers(self.qmodel):
+            if not qlayer.input_quant.calibrated:
+                return False
+            if isinstance(qlayer, QAttention) and not all(
+                q.calibrated
+                for q in (
+                    qlayer.q_quant, qlayer.k_quant, qlayer.v_quant, qlayer.p_quant
+                )
+            ):
+                return False
+        return True
+
     # -- instrumented generation --------------------------------------------
-    def run(self, batch_size: int = 1, seed: int = 0) -> EngineResult:
-        """Generate one batch while recording the rich trace."""
-        static_info = self.analyze_graph(batch_size)
+    def run(
+        self,
+        batch_size: int = 1,
+        seed: int = 0,
+        x_init: Optional[np.ndarray] = None,
+        record_trace: bool = True,
+    ) -> EngineResult:
+        """Generate one batch while recording the rich trace.
+
+        ``x_init`` seeds the trajectory with explicit initial noise of shape
+        ``(batch, *sample_shape)`` instead of drawing from ``seed``; the
+        serving runtime uses it to stack independently-seeded requests into
+        one micro-batch.  ``record_trace=False`` skips all bit-width
+        instrumentation (the rich trace comes back empty) - the throughput
+        configuration, since stats scans dominate the instrumented run.
+        """
+        if x_init is not None:
+            x_init = np.asarray(x_init)
+            expected_ndim = 1 + len(self.pipeline.sample_shape)
+            if x_init.ndim != expected_ndim:
+                raise ValueError(
+                    f"x_init must be (batch, *sample_shape), i.e. "
+                    f"{expected_ndim}-d with trailing shape "
+                    f"{self.pipeline.sample_shape}; got shape {x_init.shape}"
+                )
+            if batch_size not in (1, x_init.shape[0]):
+                raise ValueError(
+                    f"batch_size={batch_size} conflicts with x_init batch "
+                    f"dimension {x_init.shape[0]}; pass one or the other"
+                )
+            batch_size = x_init.shape[0]
+        if record_trace:
+            static_info = self.analyze_graph(batch_size)
+        else:
+            # Serving path: the probe must still run (sticky scales freeze
+            # from it, batch-independently), but the static-info hooks and
+            # dataclasses would be discarded - skip them.
+            self._freeze_scales(batch_size)
+            static_info = {}
         reset_model_state(self.qmodel)
         recorder = TraceRecorder()
         calls = [0]
@@ -208,9 +320,14 @@ class DittoEngine:
 
         self.pipeline.predict_noise = counted_predict
         try:
-            with recorder:
+            if record_trace:
+                with recorder:
+                    samples = self.pipeline.generate(
+                        batch_size, np.random.default_rng(seed), x_init=x_init
+                    )
+            else:
                 samples = self.pipeline.generate(
-                    batch_size, np.random.default_rng(seed)
+                    batch_size, np.random.default_rng(seed), x_init=x_init
                 )
         finally:
             self.pipeline.predict_noise = original_predict

@@ -68,6 +68,26 @@ class GenerationPipeline:
             )
         self.guidance_scale = guidance_scale
         self.uncond_conditioning = dict(uncond_conditioning or {})
+        if guidance_scale is not None:
+            # The CFG merge concatenates cond[key] with uncond[key] per key:
+            # a key missing from one dict would either be silently dropped or
+            # blow up deep inside the step loop, so mismatches fail here.
+            cond_keys = set(self.conditioning)
+            uncond_keys = set(self.uncond_conditioning)
+            if cond_keys != uncond_keys:
+                missing = sorted(cond_keys - uncond_keys)
+                extra = sorted(uncond_keys - cond_keys)
+                raise ValueError(
+                    "conditioning and uncond_conditioning must have identical "
+                    f"keys for classifier-free guidance; missing from uncond: "
+                    f"{missing or 'none'}, only in uncond: {extra or 'none'}"
+                )
+        # Tiled / CFG-merged conditioning per batch size.  Memoized so every
+        # time step hands the model the *same array objects*: cross-attention
+        # caches the constant K'/V' projections keyed by context identity, and
+        # rebuilding the tiles each step would silently defeat that cache for
+        # batch > 1 and for every CFG run.
+        self._cond_cache: Dict[tuple, Dict[str, np.ndarray]] = {}
 
     @staticmethod
     def _tile_cond(cond: Dict[str, np.ndarray], batch: int) -> Dict[str, np.ndarray]:
@@ -75,10 +95,41 @@ class GenerationPipeline:
         tiled = {}
         for key, value in cond.items():
             value = np.asarray(value)
+            if value.ndim == 0:
+                raise ValueError(
+                    f"conditioning {key!r} is 0-d; conditioning tensors need "
+                    "a leading batch dimension (reshape scalars to (1, ...))"
+                )
             if value.shape[0] == 1 and batch > 1:
                 value = np.repeat(value, batch, axis=0)
+            elif value.shape[0] != batch:
+                raise ValueError(
+                    f"conditioning {key!r} has batch dimension "
+                    f"{value.shape[0]} (shape {value.shape}); expected 1 or "
+                    f"the sample batch size {batch}"
+                )
             tiled[key] = value
         return tiled
+
+    def _cached_cond(self, which: str, batch: int) -> Dict[str, np.ndarray]:
+        """Memoized tiled (or CFG-stacked) conditioning for ``batch``."""
+        key = (which, batch)
+        cached = self._cond_cache.get(key)
+        if cached is not None:
+            return cached
+        if which == "cond":
+            built = self._tile_cond(self.conditioning, batch)
+        elif which == "uncond":
+            built = self._tile_cond(self.uncond_conditioning, batch)
+        else:  # "merged": the [cond; uncond] stacked-batch layout
+            cond = self._cached_cond("cond", batch)
+            uncond = self._cached_cond("uncond", batch)
+            built = {
+                name: np.concatenate([cond[name], uncond[name]], axis=0)
+                for name in cond
+            }
+        self._cond_cache[key] = built
+        return built
 
     # -- model invocation -----------------------------------------------
     def predict_noise(self, x: np.ndarray, t: int) -> np.ndarray:
@@ -92,13 +143,9 @@ class GenerationPipeline:
         batch = x.shape[0]
         if self.guidance_scale is None or self.guidance_scale == 1.0:
             t_array = np.full(batch, t, dtype=np.float64)
-            return self.model(x, t_array, **self._tile_cond(self.conditioning, batch))
+            return self.model(x, t_array, **self._cached_cond("cond", batch))
         stacked = np.concatenate([x, x], axis=0)
-        cond = self._tile_cond(self.conditioning, batch)
-        uncond = self._tile_cond(self.uncond_conditioning, batch)
-        merged = {
-            key: np.concatenate([cond[key], uncond[key]], axis=0) for key in cond
-        }
+        merged = self._cached_cond("merged", batch)
         t_array = np.full(2 * batch, t, dtype=np.float64)
         eps = self.model(stacked, t_array, **merged)
         eps_cond, eps_uncond = eps[:batch], eps[batch:]

@@ -55,14 +55,21 @@ def active_step() -> Optional[int]:
 def cluster_bounds(num_steps: int, num_clusters: int) -> List[int]:
     """Start indices of ``num_clusters`` contiguous step windows.
 
+    Windows are as even as possible with the *larger* windows first
+    (ceil-style edges): ``10`` steps over ``3`` clusters gives windows of
+    4, 3 and 3 steps.  ``num_clusters`` is capped at ``num_steps`` so no
+    window is ever empty.
+
     >>> cluster_bounds(10, 3)
     [0, 4, 7]
     """
     if num_clusters < 1:
         raise ValueError("need at least one cluster")
     num_clusters = min(num_clusters, num_steps)
-    edges = np.linspace(0, num_steps, num_clusters + 1)
-    return [int(round(e)) for e in edges[:-1]]
+    return [
+        (i * num_steps + num_clusters - 1) // num_clusters
+        for i in range(num_clusters)
+    ]
 
 
 class TimestepClusteredQuantizer(SymmetricQuantizer):

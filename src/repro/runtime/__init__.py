@@ -19,19 +19,36 @@ from .hashing import (
     spec_signature,
     stable_hash,
 )
-from .runner import SIMILARITY_MAX_STEPS, EngineRunner
+from .runner import SIMILARITY_MAX_STEPS, EngineRunner, normalize_batch_sizes
+from .serving import (
+    ARRIVAL_PATTERNS,
+    BatchSizeReport,
+    Request,
+    ServedRequest,
+    ServingReport,
+    generate_requests,
+    simulate_serving,
+)
 
 __all__ = [
+    "ARRIVAL_PATTERNS",
+    "BatchSizeReport",
     "CACHE_SCHEMA_VERSION",
     "CacheStats",
     "EngineRunner",
+    "Request",
     "ResultCache",
     "SIMILARITY_MAX_STEPS",
+    "ServedRequest",
+    "ServingReport",
     "callable_fingerprint",
     "code_fingerprint",
     "default_cache_dir",
     "engine_key",
+    "generate_requests",
+    "normalize_batch_sizes",
     "similarity_key",
+    "simulate_serving",
     "spec_signature",
     "stable_hash",
 ]

@@ -101,6 +101,7 @@ def spec_signature(spec) -> Dict[str, Any]:
     if hasattr(spec, "signature"):
         return spec.signature()
     build = getattr(spec, "build_model", None)
+    build_uncond = getattr(spec, "build_uncond_conditioning", None)
     return {
         "name": spec.name,
         "sampler": spec.sampler,
@@ -110,6 +111,10 @@ def spec_signature(spec) -> Dict[str, Any]:
         "latent": getattr(spec, "latent", False),
         "is_video": getattr(spec, "is_video", False),
         "builder": "" if build is None else callable_fingerprint(build),
+        "guidance_scale": getattr(spec, "guidance_scale", None),
+        "uncond_builder": (
+            "" if build_uncond is None else callable_fingerprint(build_uncond)
+        ),
     }
 
 
@@ -121,6 +126,7 @@ def engine_key(
     step_clusters: int = 1,
     seed: int = 0,
     batch_size: int = 1,
+    guidance_scale: Optional[float] = None,
 ) -> str:
     """Cache key for one instrumented :class:`EngineResult`."""
     return stable_hash(
@@ -134,6 +140,7 @@ def engine_key(
             "step_clusters": step_clusters,
             "seed": seed,
             "batch_size": batch_size,
+            "guidance_scale": guidance_scale,
         }
     )
 

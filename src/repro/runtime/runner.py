@@ -36,7 +36,28 @@ from ..core.similarity import SimilarityReport, similarity_report
 from .cache import CacheStats, ResultCache, default_cache_dir
 from .hashing import engine_key, similarity_key
 
-__all__ = ["EngineRunner", "SIMILARITY_MAX_STEPS"]
+__all__ = ["EngineRunner", "SIMILARITY_MAX_STEPS", "normalize_batch_sizes"]
+
+
+def normalize_batch_sizes(
+    batch_sizes: Iterable[int], preserve_order: bool = False
+) -> List[int]:
+    """Dedupe and validate a batch-size axis (shared by bench/serve/sweeps).
+
+    ``preserve_order=True`` keeps first-occurrence order (``repro bench``
+    treats the first size as the headline record); the default sorts
+    ascending.  Rejects empty input and sizes < 1.
+    """
+    requested = [int(b) for b in batch_sizes]
+    if preserve_order:
+        sizes = list(dict.fromkeys(requested))
+    else:
+        sizes = sorted(set(requested))
+    if not sizes:
+        raise ValueError("need at least one batch size")
+    if min(sizes) < 1:
+        raise ValueError(f"batch sizes must be >= 1, got {requested}")
+    return sizes
 
 # Similarity analysis only needs a window of adjacent steps (Figs. 3-4), so
 # runs are capped at this many steps unless the caller overrides them.
@@ -60,6 +81,7 @@ def _compute_engine_result(spec, params: dict) -> EngineResult:
         calibrate=params["calibrate"],
         calibration_seed=params["calibration_seed"],
         step_clusters=params["step_clusters"],
+        guidance_scale=params.get("guidance_scale"),
     )
     return engine.run(batch_size=params["batch_size"], seed=params["seed"])
 
@@ -158,6 +180,7 @@ class EngineRunner:
         step_clusters: int = 1,
         seed: int = 0,
         batch_size: int = 1,
+        guidance_scale: Optional[float] = None,
     ) -> EngineResult:
         """One cached instrumented run (serial; use :meth:`run_suite` to fan out)."""
         params = {
@@ -167,8 +190,54 @@ class EngineRunner:
             "step_clusters": step_clusters,
             "seed": seed,
             "batch_size": batch_size,
+            "guidance_scale": guidance_scale,
         }
         return _run_one("engine", spec_or_name, params, self._cache)[1]
+
+    def run_batch_sizes(
+        self,
+        spec_or_name: SpecOrName,
+        batch_sizes: Iterable[int] = (1, 2, 4, 8),
+        num_steps: Optional[int] = None,
+        calibrate: bool = True,
+        calibration_seed: int = 11,
+        step_clusters: int = 1,
+        seed: int = 0,
+        guidance_scale: Optional[float] = None,
+    ) -> Dict[int, EngineResult]:
+        """Cached instrumented runs of one benchmark across batch sizes.
+
+        The batch-size axis fans out across the process pool exactly like the
+        benchmark axis of :meth:`run_suite` (cache keys carry ``batch_size``,
+        so each point is independently reusable).  Returns
+        ``{batch_size: EngineResult}``.
+        """
+        sizes = normalize_batch_sizes(batch_sizes)
+        items = [
+            (
+                spec_or_name,
+                {
+                    "num_steps": num_steps,
+                    "calibrate": calibrate,
+                    "calibration_seed": calibration_seed,
+                    "step_clusters": step_clusters,
+                    "seed": seed,
+                    "batch_size": size,
+                    "guidance_scale": guidance_scale,
+                },
+            )
+            for size in sizes
+        ]
+        # _map_varied yields results in completion order and every item here
+        # shares one benchmark name, so re-key each result by its actual
+        # batch dimension (samples are (batch, *sample_shape)).
+        results = [value for _, value in self._map_varied("engine", items)]
+        by_size = {int(r.samples.shape[0]): r for r in results}
+        if sorted(by_size) != sizes:
+            raise AssertionError(
+                f"batched sweep returned sizes {sorted(by_size)}, wanted {sizes}"
+            )
+        return {size: by_size[size] for size in sizes}
 
     def similarity(
         self,
@@ -193,6 +262,7 @@ class EngineRunner:
         step_clusters: int = 1,
         seed: int = 0,
         batch_size: int = 1,
+        guidance_scale: Optional[float] = None,
     ) -> Dict[str, EngineResult]:
         """Instrumented runs for every benchmark, cache-first then pooled."""
         params = {
@@ -202,6 +272,7 @@ class EngineRunner:
             "step_clusters": step_clusters,
             "seed": seed,
             "batch_size": batch_size,
+            "guidance_scale": guidance_scale,
         }
         return self._map("engine", self._default_suite(benchmarks), params)
 

@@ -1,0 +1,396 @@
+"""``repro serve`` - the paper's serving scenario as a workload driver.
+
+The headline claim of the paper is that temporal difference processing makes
+diffusion denoisers cheap enough to *serve*.  Serving means batching: a
+request queue, a micro-batching window that trades a little latency for
+occupancy, and a denoiser driven at ``batch_size > 1``.  This module
+simulates exactly that on top of :class:`~repro.core.engine.DittoEngine`:
+
+* :func:`generate_requests` draws a request trace with a configurable
+  arrival pattern (``poisson`` / ``uniform`` / ``burst``), each request
+  carrying its own noise seed;
+* :func:`simulate_serving` replays the same trace against every requested
+  maximum batch size.  A greedy micro-batcher collects requests while the
+  server is busy and for up to ``window_s`` after the first waiting request,
+  stacks their independently-seeded initial noise into one ``x_init``, and
+  drives ``DittoEngine.run``; service times are *measured* wall-clock, so
+  throughput and latency percentiles reflect the numpy substrate honestly.
+
+Stacking requests is only sound because of the per-batch-element
+temporal-state invariance contract: every quantized layer's cached
+``_prev_*`` state differences along the batch axis, so a batch-N run is
+bit-exact with N independent batch-1 runs (pinned by
+``tests/test_batched_state.py`` and optionally re-checked per serve via
+``verify_invariance``).  The per-batch-size MAC/BOPs savings come from one
+instrumented run per batch size; the timed runs skip instrumentation
+(``record_trace=False``) so stats scans do not pollute the latency numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import lower_temporal, relative_bops
+from ..core.engine import DittoEngine
+
+__all__ = [
+    "ARRIVAL_PATTERNS",
+    "Request",
+    "ServedRequest",
+    "BatchSizeReport",
+    "ServingReport",
+    "generate_requests",
+    "simulate_serving",
+]
+
+ARRIVAL_PATTERNS = ("poisson", "uniform", "burst")
+
+
+@dataclass(frozen=True)
+class Request:
+    """One generation request: identity, arrival time, private noise seed."""
+
+    req_id: int
+    arrival_s: float
+    seed: Tuple[int, int]
+
+    def draw_noise(self, sample_shape: Tuple[int, ...]) -> np.ndarray:
+        """The request's initial noise, independent of any batching."""
+        rng = np.random.default_rng(self.seed)
+        return rng.standard_normal((1,) + tuple(sample_shape))
+
+
+@dataclass(frozen=True)
+class ServedRequest:
+    """Completion record of one request under one batching configuration."""
+
+    req_id: int
+    arrival_s: float
+    launch_s: float
+    finish_s: float
+    batch_fill: int
+
+    @property
+    def latency_s(self) -> float:
+        return self.finish_s - self.arrival_s
+
+
+@dataclass
+class BatchSizeReport:
+    """Queue replay results for one maximum micro-batch size."""
+
+    batch_size: int
+    num_requests: int
+    num_batches: int
+    mean_batch_fill: float
+    makespan_s: float
+    throughput_rps: float
+    latency_p50_s: float
+    latency_p90_s: float
+    latency_p99_s: float
+    mean_service_s: float
+    temporal_relative_bops: float
+    mac_savings_pct: float
+    served: List[ServedRequest] = field(default_factory=list)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "batch_size": self.batch_size,
+            "num_requests": self.num_requests,
+            "num_batches": self.num_batches,
+            "mean_batch_fill": round(self.mean_batch_fill, 3),
+            "makespan_s": round(self.makespan_s, 4),
+            "throughput_rps": round(self.throughput_rps, 3),
+            "latency_p50_s": round(self.latency_p50_s, 4),
+            "latency_p90_s": round(self.latency_p90_s, 4),
+            "latency_p99_s": round(self.latency_p99_s, 4),
+            "mean_service_s": round(self.mean_service_s, 4),
+            "temporal_relative_bops": round(self.temporal_relative_bops, 4),
+            "mac_savings_pct": round(self.mac_savings_pct, 2),
+        }
+
+
+@dataclass
+class ServingReport:
+    """Per-batch-size serving metrics for one benchmark."""
+
+    benchmark: str
+    num_steps: int
+    pattern: str
+    rate_rps: float
+    window_s: float
+    num_requests: int
+    guidance_scale: Optional[float]
+    invariance_checked: bool
+    per_batch: Dict[int, BatchSizeReport] = field(default_factory=dict)
+
+    def rows(self) -> List[List[object]]:
+        return [
+            [
+                report.batch_size,
+                report.throughput_rps,
+                report.latency_p50_s,
+                report.latency_p99_s,
+                report.mean_batch_fill,
+                report.mac_savings_pct,
+            ]
+            for report in self.per_batch.values()
+        ]
+
+    def summary(self) -> str:
+        from ..analysis import format_table
+
+        head = (
+            f"{self.benchmark}: {self.num_requests} requests, "
+            f"{self.pattern} arrivals @ {self.rate_rps:g} req/s, "
+            f"window {self.window_s * 1e3:g} ms, {self.num_steps} steps"
+            + (
+                f", CFG x{self.guidance_scale:g}"
+                if self.guidance_scale is not None
+                else ""
+            )
+        )
+        table = format_table(
+            ["batch", "req/s", "p50 s", "p99 s", "fill", "MAC sav%"],
+            self.rows(),
+        )
+        tail = (
+            "batch-N == N x batch-1 verified bit-exact"
+            if self.invariance_checked
+            else ""
+        )
+        return "\n".join(part for part in (head, table, tail) if part)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "benchmark": self.benchmark,
+            "num_steps": self.num_steps,
+            "pattern": self.pattern,
+            "rate_rps": self.rate_rps,
+            "window_s": self.window_s,
+            "num_requests": self.num_requests,
+            "guidance_scale": self.guidance_scale,
+            "invariance_checked": self.invariance_checked,
+            "per_batch": {
+                str(size): report.to_json()
+                for size, report in self.per_batch.items()
+            },
+        }
+
+
+def generate_requests(
+    num_requests: int,
+    rate_rps: float = 4.0,
+    pattern: str = "poisson",
+    seed: int = 0,
+) -> List[Request]:
+    """Draw a request trace with the given arrival pattern.
+
+    ``poisson`` draws exponential inter-arrival gaps at ``rate_rps``;
+    ``uniform`` spaces arrivals exactly ``1/rate_rps`` apart; ``burst``
+    drops every request at t=0 (the worst case for the micro-batcher).
+    Each request gets a private, reproducible noise seed derived from
+    ``(seed, req_id)``, so its sample is identical no matter which
+    micro-batch it lands in.
+    """
+    if num_requests < 1:
+        raise ValueError("need at least one request")
+    if pattern not in ARRIVAL_PATTERNS:
+        raise ValueError(
+            f"unknown arrival pattern {pattern!r}; choose from {ARRIVAL_PATTERNS}"
+        )
+    if pattern != "burst" and rate_rps <= 0.0:
+        raise ValueError("rate_rps must be positive")
+    if pattern == "poisson":
+        rng = np.random.default_rng(seed)
+        gaps = rng.exponential(1.0 / rate_rps, size=num_requests)
+        arrivals = np.cumsum(gaps) - gaps[0]  # first request arrives at t=0
+    elif pattern == "uniform":
+        arrivals = np.arange(num_requests) / rate_rps
+    else:  # burst
+        arrivals = np.zeros(num_requests)
+    return [
+        Request(req_id=i, arrival_s=float(arrivals[i]), seed=(seed, i))
+        for i in range(num_requests)
+    ]
+
+
+def _drain_queue(
+    engine: DittoEngine,
+    requests: Sequence[Request],
+    noises: Sequence[np.ndarray],
+    window_s: float,
+    max_batch: int,
+) -> Tuple[List[ServedRequest], List[float], List[np.ndarray]]:
+    """Replay the request trace through greedy micro-batching.
+
+    Arrival times live on a simulated clock; service times are measured
+    wall-clock per ``DittoEngine.run`` call.  A batch opens when the server
+    is free and a request is waiting, admits arrivals for up to ``window_s``
+    (closing early once full), then launches.
+    """
+    served: List[ServedRequest] = []
+    service_times: List[float] = []
+    batch_samples: List[np.ndarray] = []
+    free_at = 0.0
+    i = 0
+    n = len(requests)
+    while i < n:
+        first_ready = max(free_at, requests[i].arrival_s)
+        deadline = first_ready + window_s
+        members = [i]
+        i += 1
+        while (
+            i < n
+            and len(members) < max_batch
+            and requests[i].arrival_s <= deadline
+        ):
+            members.append(i)
+            i += 1
+        if len(members) == max_batch:
+            # Closed early: launched the moment the filling request arrived
+            # (or immediately, if the backlog already covered the batch).
+            launch = max(first_ready, requests[members[-1]].arrival_s)
+        else:
+            # A real server cannot know no further request is coming; it
+            # waits out the window.
+            launch = deadline
+        x_init = np.concatenate([noises[j] for j in members], axis=0)
+        t0 = time.perf_counter()
+        result = engine.run(x_init=x_init, record_trace=False)
+        service_s = time.perf_counter() - t0
+        service_times.append(service_s)
+        batch_samples.append(result.samples)
+        finish = launch + service_s
+        free_at = finish
+        for j in members:
+            served.append(
+                ServedRequest(
+                    req_id=requests[j].req_id,
+                    arrival_s=requests[j].arrival_s,
+                    launch_s=launch,
+                    finish_s=finish,
+                    batch_fill=len(members),
+                )
+            )
+    return served, service_times, batch_samples
+
+
+def _mac_savings(engine: DittoEngine, batch_size: int, seed: int) -> Tuple[float, float]:
+    """Instrumented run -> (temporal relative BOPs, savings % vs dense)."""
+    result = engine.run(batch_size=batch_size, seed=seed)
+    rel = relative_bops(lower_temporal(result.rich_trace))
+    return rel, 100.0 * (1.0 - rel)
+
+
+def simulate_serving(
+    spec_or_name,
+    batch_sizes: Iterable[int] = (1, 2, 4, 8),
+    num_requests: int = 16,
+    rate_rps: float = 4.0,
+    pattern: str = "poisson",
+    window_s: float = 0.25,
+    num_steps: Optional[int] = None,
+    seed: int = 0,
+    guidance_scale: Optional[float] = None,
+    calibrate: bool = True,
+    verify_invariance: bool = False,
+    engine: Optional[DittoEngine] = None,
+) -> ServingReport:
+    """Replay one request trace at every batch size and report the numbers.
+
+    The engine is built once (quantization + calibration are
+    batch-independent) and reused across batch sizes; every
+    :meth:`~repro.core.engine.DittoEngine.run` resets the temporal state.
+    ``verify_invariance=True`` additionally re-runs every request of the
+    largest batch size's first multi-request micro-batch individually and
+    asserts bit-exact equality with its batched samples - the temporal-state
+    contract checked in production rather than only in tests.
+    """
+    if isinstance(spec_or_name, str):
+        from ..workloads import get_benchmark
+
+        spec = get_benchmark(spec_or_name)
+    else:
+        spec = spec_or_name
+    from .runner import normalize_batch_sizes
+
+    sizes = normalize_batch_sizes(batch_sizes)
+    steps = num_steps if num_steps is not None else spec.num_steps
+    if engine is None:
+        engine = DittoEngine.from_benchmark(
+            spec,
+            num_steps=steps,
+            calibrate=calibrate,
+            guidance_scale=guidance_scale,
+        )
+    requests = generate_requests(num_requests, rate_rps, pattern, seed)
+    noises = [req.draw_noise(spec.sample_shape) for req in requests]
+
+    report = ServingReport(
+        benchmark=spec.name,
+        num_steps=steps,
+        pattern=pattern,
+        rate_rps=rate_rps,
+        window_s=window_s,
+        num_requests=num_requests,
+        guidance_scale=(
+            guidance_scale
+            if guidance_scale is not None
+            else getattr(spec, "guidance_scale", None)
+        ),
+        invariance_checked=False,
+    )
+    for size in sizes:
+        served, service_times, batch_samples = _drain_queue(
+            engine, requests, noises, window_s, size
+        )
+        latencies = np.array([s.latency_s for s in served])
+        first_arrival = min(req.arrival_s for req in requests)
+        makespan = max(s.finish_s for s in served) - first_arrival
+        rel_bops, savings = _mac_savings(engine, size, seed)
+        report.per_batch[size] = BatchSizeReport(
+            batch_size=size,
+            num_requests=len(served),
+            num_batches=len(service_times),
+            # Mean requests per *launched micro-batch* - averaging the
+            # per-request fill values instead would weight full batches by
+            # their own size and overstate occupancy.
+            mean_batch_fill=float(len(served) / len(service_times)),
+            makespan_s=float(makespan),
+            throughput_rps=float(len(served) / makespan) if makespan > 0 else float("inf"),
+            latency_p50_s=float(np.percentile(latencies, 50)),
+            latency_p90_s=float(np.percentile(latencies, 90)),
+            latency_p99_s=float(np.percentile(latencies, 99)),
+            mean_service_s=float(np.mean(service_times)),
+            temporal_relative_bops=rel_bops,
+            mac_savings_pct=savings,
+            served=served,
+        )
+    if verify_invariance:
+        # Stack the first requests into one micro-batch of the largest
+        # configured size, re-run them one at a time, and demand bit-exact
+        # agreement.  Built independently of what the drains happened to
+        # form, so --verify can never silently verify nothing.
+        fill = min(sizes[-1], num_requests)
+        if fill < 2:
+            raise ValueError(
+                "verify_invariance needs a multi-request batch: got "
+                f"max batch size {sizes[-1]} and {num_requests} request(s)"
+            )
+        members = list(range(fill))
+        x_init = np.concatenate([noises[j] for j in members], axis=0)
+        batched = engine.run(x_init=x_init, record_trace=False).samples
+        for pos, j in enumerate(members):
+            single = engine.run(x_init=noises[j], record_trace=False).samples
+            if not np.array_equal(batched[pos : pos + 1], single):
+                raise AssertionError(
+                    f"batch invariance violated for request {j} in "
+                    f"batch {members} of {spec.name}"
+                )
+        report.invariance_checked = True
+    return report

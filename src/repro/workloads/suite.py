@@ -45,6 +45,12 @@ def _text_context(prompt_index: int = 0) -> np.ndarray:
     return encoder.encode(sample_prompts(1, offset=prompt_index))
 
 
+def _empty_text_context() -> dict:
+    """SDM unconditional branch: the empty-prompt embedding (CFG null)."""
+    encoder = zoo.build_text_encoder()
+    return {"context": encoder.encode([""])}
+
+
 @dataclass(frozen=True)
 class BenchmarkSpec:
     """One row of Table I, scaled for the numpy substrate."""
@@ -60,6 +66,12 @@ class BenchmarkSpec:
     build_conditioning: Callable[[], Optional[dict]]
     latent: bool = False
     is_video: bool = False
+    # Classifier-free guidance: ``guidance_scale`` is the default (None keeps
+    # plain conditional sampling); ``build_uncond_conditioning`` supplies the
+    # unconditional branch and is required whenever guidance is requested,
+    # either here or per-run via ``DittoEngine.from_benchmark``.
+    guidance_scale: Optional[float] = None
+    build_uncond_conditioning: Optional[Callable[[], Optional[dict]]] = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -89,6 +101,12 @@ class BenchmarkSpec:
             "is_video": self.is_video,
             "build_model": callable_fingerprint(self.build_model),
             "build_conditioning": callable_fingerprint(self.build_conditioning),
+            "guidance_scale": self.guidance_scale,
+            "build_uncond_conditioning": (
+                None
+                if self.build_uncond_conditioning is None
+                else callable_fingerprint(self.build_uncond_conditioning)
+            ),
         }
 
 
@@ -151,6 +169,7 @@ SUITE: Dict[str, BenchmarkSpec] = {
         build_model=lambda: zoo.build_conditional_unet(seed=13),
         build_conditioning=lambda: {"context": _text_context(0)},
         latent=True,
+        build_uncond_conditioning=_empty_text_context,
     ),
     "DiT": BenchmarkSpec(
         name="DiT",

@@ -1,0 +1,183 @@
+"""Per-batch-element temporal-state invariance (the serving contract).
+
+A batch-N engine run must be bit-exact with N independent batch-1 runs
+seeded per element: every quantized layer's cached temporal state
+(``_prev_q_in`` / ``_prev_out_int``, QConv2d's ``_prev_cols``, attention's
+``_prev`` dicts) differences along the batch axis, and every sticky
+quantizer scale freezes batch-independently (the engine's probe tiles one
+sample).  These tests pin that contract for a conv-only benchmark, a
+CFG/attention benchmark, and a TDQ cluster-boundary crossing at batch > 1.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DittoEngine
+from repro.models import UNet, build_text_encoder
+from repro.quant.qlayers import QAttention, iter_qlayers
+
+
+def _unet(block_type, context_dim=None, seed=3, attention_levels=(1,)):
+    return UNet(
+        in_channels=2,
+        base_channels=8,
+        channel_mults=(1, 2),
+        num_res_blocks=1,
+        attention_levels=attention_levels,
+        block_type=block_type,
+        context_dim=context_dim,
+        rng=np.random.default_rng(seed),
+    )
+
+
+def _conv_engine(calibrate=False, step_clusters=1, num_steps=4):
+    """Pure-conv UNet: no attention blocks at all."""
+    return DittoEngine.from_model(
+        _unet("none", attention_levels=()),
+        sampler_name="ddim",
+        num_steps=num_steps,
+        sample_shape=(2, 8, 8),
+        num_train_steps=100,
+        calibrate=calibrate,
+        step_clusters=step_clusters,
+        benchmark="tiny-conv",
+    )
+
+
+def _cfg_engine(calibrate=True, num_steps=4):
+    """Cross-attention UNet under classifier-free guidance (stacked batch)."""
+    encoder = build_text_encoder()
+    return DittoEngine.from_model(
+        _unet("transformer", context_dim=16, seed=7),
+        sampler_name="ddim",
+        num_steps=num_steps,
+        sample_shape=(2, 8, 8),
+        num_train_steps=100,
+        calibrate=calibrate,
+        benchmark="tiny-cfg",
+        guidance_scale=3.5,
+        conditioning={"context": encoder.encode(["a blue car"])},
+        uncond_conditioning={"context": encoder.encode([""])},
+    )
+
+
+def _batch_vs_singles(engine, batch, seed=3):
+    """Samples of one batch-N run and of N per-element batch-1 runs."""
+    batched = engine.run(batch_size=batch, seed=seed).samples
+    shape = (batch,) + engine.pipeline.sample_shape
+    x0 = np.random.default_rng(seed).standard_normal(shape)
+    singles = np.concatenate(
+        [engine.run(x_init=x0[i : i + 1]).samples for i in range(batch)],
+        axis=0,
+    )
+    return batched, singles
+
+
+def test_conv_batch_invariance_uncalibrated():
+    """Conv benchmark, probe-frozen (dynamic) scales: batch-3 == 3 x batch-1."""
+    engine = _conv_engine(calibrate=False)
+    batched, singles = _batch_vs_singles(engine, batch=3)
+    np.testing.assert_array_equal(batched, singles)
+    assert not np.allclose(batched[0], batched[1])  # elements independent
+
+
+def test_conv_batch_invariance_calibrated():
+    engine = _conv_engine(calibrate=True)
+    batched, singles = _batch_vs_singles(engine, batch=2, seed=11)
+    np.testing.assert_array_equal(batched, singles)
+
+
+def test_cfg_attention_batch_invariance():
+    """CFG stacks [cond; uncond]: per-element state still differences itself."""
+    engine = _cfg_engine()
+    batched, singles = _batch_vs_singles(engine, batch=2, seed=5)
+    np.testing.assert_array_equal(batched, singles)
+    assert not np.allclose(batched[0], batched[1])
+
+
+def test_plms_batch_invariance():
+    """PLMS's warmup double-call keeps the same stacked layout every step."""
+    engine = DittoEngine.from_model(
+        _unet("attention", seed=9),
+        sampler_name="plms",
+        num_steps=3,
+        sample_shape=(2, 8, 8),
+        num_train_steps=100,
+        calibrate=False,
+        benchmark="tiny-plms",
+    )
+    batched, singles = _batch_vs_singles(engine, batch=2, seed=8)
+    np.testing.assert_array_equal(batched, singles)
+
+
+def test_tdq_cluster_boundary_batched():
+    """Crossing a TDQ scale boundary at batch>1: dense fallback fires for the
+    whole stacked batch (the cached grid is invalid for *every* element) and
+    the run stays bit-exact with per-element batch-1 runs."""
+    engine = _conv_engine(calibrate=True, step_clusters=3, num_steps=6)
+    batched_result = engine.run(batch_size=2, seed=4)
+
+    # Dense fallbacks (records without temporal stats) must appear exactly at
+    # the trajectory start and at each cluster-boundary step - for a batch-2
+    # run just like for batch-1.
+    from repro.quant.tdq import cluster_bounds
+
+    bounds = set(cluster_bounds(6, 3))
+    fallback_steps = sorted(
+        {s.step_index for s in batched_result.rich_trace if s.stats_temporal is None}
+    )
+    assert set(fallback_steps) == bounds
+    assert len(bounds) > 1  # the trajectory actually crossed a boundary
+
+    x0 = np.random.default_rng(4).standard_normal((2,) + engine.pipeline.sample_shape)
+    singles = np.concatenate(
+        [engine.run(x_init=x0[i : i + 1]).samples for i in range(2)], axis=0
+    )
+    np.testing.assert_array_equal(batched_result.samples, singles)
+
+
+def test_probe_scales_batch_independent():
+    """Sticky quantizer scales frozen by the probe must not depend on the
+    batch size the engine runs at."""
+    scales = {}
+    for batch in (1, 4):
+        engine = _cfg_engine(calibrate=False)
+        engine.run(batch_size=batch, seed=0)
+        for name, qlayer in iter_qlayers(engine.qmodel):
+            if isinstance(qlayer, QAttention):
+                scales.setdefault(batch, {})[name] = (
+                    qlayer.q_quant.scale,
+                    qlayer.k_quant.scale,
+                    qlayer.v_quant.scale,
+                )
+    assert scales[1] == scales[4]
+    assert scales[1]  # the model does contain attention layers
+
+
+def test_run_x_init_validation():
+    engine = _conv_engine(calibrate=True)
+    shape = engine.pipeline.sample_shape
+    with pytest.raises(ValueError, match="batch, \\*sample_shape"):
+        engine.run(x_init=np.zeros(shape))  # missing batch dimension
+    with pytest.raises(ValueError, match="batch_size=3 conflicts"):
+        engine.run(batch_size=3, x_init=np.zeros((2,) + shape))
+
+
+def test_run_x_init_matches_seeded_run():
+    """run(x_init=noise) reproduces run(seed=s) when noise is seed-s noise."""
+    engine = _conv_engine(calibrate=True)
+    seeded = engine.run(batch_size=2, seed=21).samples
+    x0 = np.random.default_rng(21).standard_normal((2,) + engine.pipeline.sample_shape)
+    explicit = engine.run(x_init=x0).samples
+    np.testing.assert_array_equal(seeded, explicit)
+
+
+def test_run_without_trace_matches_instrumented():
+    """record_trace=False must change only the trace, never the samples."""
+    engine = _cfg_engine()
+    instrumented = engine.run(batch_size=2, seed=13)
+    bare = engine.run(batch_size=2, seed=13, record_trace=False)
+    np.testing.assert_array_equal(instrumented.samples, bare.samples)
+    assert len(instrumented.rich_trace) > 0
+    assert len(bare.rich_trace) == 0
+    assert bare.num_model_calls == instrumented.num_model_calls

@@ -55,6 +55,44 @@ def test_cfg_requires_uncond():
         )
 
 
+def test_cfg_key_sets_must_match():
+    sampler = make_sampler("ddim", DiffusionSchedule(100), 3)
+    ctx = np.ones((1, 2, 4))
+    # A key only in conditioning used to raise a bare KeyError mid-step; a
+    # key only in uncond was silently dropped. Both now fail at construction.
+    with pytest.raises(ValueError, match="missing from uncond: \\['context'\\]"):
+        GenerationPipeline(
+            EchoModel(), sampler, (2, 4, 4),
+            conditioning={"context": ctx},
+            guidance_scale=5.0,
+            uncond_conditioning={},
+        )
+    with pytest.raises(ValueError, match="only in uncond: \\['extra'\\]"):
+        GenerationPipeline(
+            EchoModel(), sampler, (2, 4, 4),
+            conditioning={"context": ctx},
+            guidance_scale=5.0,
+            uncond_conditioning={"context": 0 * ctx, "extra": ctx},
+        )
+
+
+def test_cfg_merged_identity_stable_across_steps():
+    """CFG's stacked conditioning is memoized per batch size, so the cross-
+    attention context cache (keyed by identity) holds across time steps."""
+    model = EchoModel()
+    pipe = make_pipeline(model, guidance=2.0)
+    seen = []
+    original_forward = model.forward
+
+    def spying_forward(x, t, context=None):
+        seen.append(id(context))
+        return original_forward(x, t, context=context)
+
+    model.forward = spying_forward
+    pipe.generate(2, np.random.default_rng(0))
+    assert len(set(seen)) == 1
+
+
 def test_cfg_doubles_model_batch():
     model = EchoModel()
     pipe = make_pipeline(model, guidance=5.0)

@@ -75,3 +75,23 @@ def test_engine_calibrated_scales_cover_trajectory():
 def test_unknown_benchmark_rejected():
     with pytest.raises(ValueError):
         get_benchmark("SDXL")
+
+
+def test_from_benchmark_with_guidance_doubles_stacked_batch():
+    """SDM exposes an empty-prompt uncond branch; guidance stacks the batch."""
+    spec = get_benchmark("SDM")
+    engine = DittoEngine.from_benchmark(
+        spec, num_steps=2, calibrate=False, guidance_scale=4.0
+    )
+    assert engine.pipeline.guidance_scale == 4.0
+    result = engine.run(seed=1)
+    assert result.samples.shape == (1,) + spec.sample_shape
+    assert np.isfinite(result.samples).all()
+    plain = DittoEngine.from_benchmark(spec, num_steps=2, calibrate=False).run(seed=1)
+    assert not np.allclose(result.samples, plain.samples)
+
+
+def test_from_benchmark_guidance_needs_uncond_branch():
+    spec = get_benchmark("DDPM")  # unconditional: no uncond builder
+    with pytest.raises(ValueError, match="build_uncond_conditioning"):
+        DittoEngine.from_benchmark(spec, num_steps=2, guidance_scale=2.0)

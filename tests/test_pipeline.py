@@ -87,3 +87,42 @@ def test_plms_pipeline_actually_makes_extra_call(sched):
     pipe = GenerationPipeline(model, PLMSSampler(sched, 5), (2, 4, 4))
     pipe.generate(1, np.random.default_rng(0))
     assert len(model.calls) == 6
+
+
+def test_scalar_conditioning_rejected_with_clear_message(sched):
+    pipe = GenerationPipeline(
+        ZeroModel(), DDIMSampler(sched, 2), (2, 4, 4), {"scale": np.float64(2.0)}
+    )
+    with pytest.raises(ValueError, match="'scale' is 0-d"):
+        pipe.generate(1, np.random.default_rng(0))
+
+
+def test_mismatched_conditioning_batch_rejected(sched):
+    # Batch dim 3 can neither broadcast to nor match a batch of 2.
+    pipe = GenerationPipeline(
+        ZeroModel(), DDIMSampler(sched, 2), (2, 4, 4),
+        {"context": np.ones((3, 2, 4))},
+    )
+    with pytest.raises(ValueError, match="'context' has batch dimension 3"):
+        pipe.generate(2, np.random.default_rng(0))
+
+
+def test_conditioning_matching_batch_passes_through(sched):
+    model = ZeroModel()
+    ctx = np.arange(12.0).reshape(2, 3, 2)
+    pipe = GenerationPipeline(model, DDIMSampler(sched, 2), (2, 4, 4), {"context": ctx})
+    pipe.generate(2, np.random.default_rng(0))
+    np.testing.assert_array_equal(model.calls[0][1]["context"], ctx)
+
+
+def test_tiled_conditioning_identity_stable_across_steps(sched):
+    """Tiles are memoized: every step must see the same array object, or the
+    cross-attention K'/V' cache (keyed by context identity) is defeated."""
+    model = ZeroModel()
+    pipe = GenerationPipeline(
+        model, DDIMSampler(sched, 3), (2, 4, 4), {"context": np.ones((1, 3, 4))}
+    )
+    pipe.generate(4, np.random.default_rng(0))
+    ids = {id(cond["context"]) for _, cond in model.calls}
+    assert len(ids) == 1
+    assert model.calls[0][1]["context"].shape == (4, 3, 4)

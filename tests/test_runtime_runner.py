@@ -124,6 +124,30 @@ def test_similarity_is_cached(runner):
     )
 
 
+def test_run_batch_sizes_cached_fanout(tmp_path):
+    """The batch-size axis fans out and caches like the benchmark axis."""
+    runner = EngineRunner(jobs=2, cache=True, cache_dir=tmp_path / "cache")
+    spec = make_tiny_spec()
+    results = runner.run_batch_sizes(spec, batch_sizes=(2, 1), seed=3)
+    assert sorted(results) == [1, 2]
+    for size, result in results.items():
+        assert result.samples.shape[0] == size
+    assert runner.stats.misses == 2
+    # Per-batch-element invariance: batch-2 row 0 is NOT generally row 0 of
+    # the batch-1 run (different initial noise draw), but re-running batch-2
+    # hits the cache and reproduces identical samples.
+    again = runner.run_batch_sizes(spec, batch_sizes=(1, 2), seed=3)
+    assert runner.stats.hits == 2
+    np.testing.assert_array_equal(again[2].samples, results[2].samples)
+
+
+def test_run_batch_sizes_validation(runner):
+    with pytest.raises(ValueError):
+        runner.run_batch_sizes(make_tiny_spec(), batch_sizes=(0, 2))
+    with pytest.raises(ValueError):
+        runner.run_batch_sizes(make_tiny_spec(), batch_sizes=())
+
+
 def test_run_benchmark_accepts_table1_name(runner):
     result = runner.run_benchmark("IMG", num_steps=2, calibrate=False)
     assert result.benchmark == "IMG"

@@ -1,0 +1,213 @@
+"""Unit tests for the batched serving runtime (``repro serve``)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.runtime.serving import (
+    ARRIVAL_PATTERNS,
+    Request,
+    generate_requests,
+    simulate_serving,
+    _drain_queue,
+)
+
+from helpers import make_tiny_spec
+
+
+# -- request generation -----------------------------------------------------
+
+def test_arrival_patterns_shapes():
+    for pattern in ARRIVAL_PATTERNS:
+        reqs = generate_requests(8, rate_rps=4.0, pattern=pattern, seed=1)
+        assert len(reqs) == 8
+        assert [r.req_id for r in reqs] == list(range(8))
+        arrivals = [r.arrival_s for r in reqs]
+        assert arrivals[0] == 0.0
+        assert all(b >= a for a, b in zip(arrivals, arrivals[1:]))
+
+
+def test_uniform_arrivals_spacing():
+    reqs = generate_requests(5, rate_rps=2.0, pattern="uniform")
+    assert [r.arrival_s for r in reqs] == [0.0, 0.5, 1.0, 1.5, 2.0]
+
+
+def test_burst_arrivals_all_at_zero():
+    reqs = generate_requests(6, pattern="burst")
+    assert all(r.arrival_s == 0.0 for r in reqs)
+
+
+def test_poisson_arrivals_reproducible():
+    a = generate_requests(10, 4.0, "poisson", seed=3)
+    b = generate_requests(10, 4.0, "poisson", seed=3)
+    assert [r.arrival_s for r in a] == [r.arrival_s for r in b]
+
+
+def test_request_noise_independent_of_batching():
+    req = Request(req_id=2, arrival_s=0.1, seed=(0, 2))
+    n1 = req.draw_noise((2, 4, 4))
+    n2 = req.draw_noise((2, 4, 4))
+    assert n1.shape == (1, 2, 4, 4)
+    np.testing.assert_array_equal(n1, n2)
+
+
+def test_generate_requests_validation():
+    with pytest.raises(ValueError):
+        generate_requests(0)
+    with pytest.raises(ValueError):
+        generate_requests(4, pattern="bimodal")
+    with pytest.raises(ValueError):
+        generate_requests(4, rate_rps=0.0, pattern="poisson")
+
+
+# -- micro-batching ---------------------------------------------------------
+
+class _InstantEngine:
+    """Stub engine: constant service time, echoes x_init as samples."""
+
+    class _Result:
+        def __init__(self, samples):
+            self.samples = samples
+
+    def run(self, batch_size=1, seed=0, x_init=None, record_trace=True):
+        return self._Result(np.array(x_init))
+
+
+def _reqs(arrivals):
+    return [
+        Request(req_id=i, arrival_s=float(t), seed=(0, i))
+        for i, t in enumerate(arrivals)
+    ]
+
+
+def _noises(n):
+    return [np.full((1, 2), float(i)) for i in range(n)]
+
+
+def test_burst_fills_batches_to_cap():
+    reqs = _reqs([0.0] * 6)
+    served, service, samples = _drain_queue(
+        _InstantEngine(), reqs, _noises(6), window_s=0.0, max_batch=4
+    )
+    assert [s.batch_fill for s in served] == [4, 4, 4, 4, 2, 2]
+    assert len(service) == 2
+
+
+def test_window_admits_near_arrivals():
+    # Second request lands inside the 0.2 s window, third far outside.
+    reqs = _reqs([0.0, 0.1, 5.0])
+    served, service, _ = _drain_queue(
+        _InstantEngine(), reqs, _noises(3), window_s=0.2, max_batch=8
+    )
+    assert [s.batch_fill for s in served] == [2, 2, 1]
+
+
+def test_window_zero_serves_immediately():
+    reqs = _reqs([0.0, 0.3, 0.6])
+    served, service, _ = _drain_queue(
+        _InstantEngine(), reqs, _noises(3), window_s=0.0, max_batch=8
+    )
+    # Service is near-instant, so nothing queues up behind the server.
+    assert [s.batch_fill for s in served] == [1, 1, 1]
+    assert all(s.latency_s >= 0.0 for s in served)
+
+
+def test_batch_order_preserves_request_order():
+    reqs = _reqs([0.0] * 4)
+    served, _, samples = _drain_queue(
+        _InstantEngine(), reqs, _noises(4), window_s=0.0, max_batch=4
+    )
+    # The stacked x_init must follow request order: request i's noise is the
+    # constant i, echoed back by the stub engine.
+    np.testing.assert_array_equal(samples[0][:, 0], [0.0, 1.0, 2.0, 3.0])
+    assert [s.req_id for s in served] == [0, 1, 2, 3]
+
+
+# -- end-to-end simulation --------------------------------------------------
+
+@pytest.fixture(scope="module")
+def tiny_report():
+    return simulate_serving(
+        make_tiny_spec("tinyServe", num_steps=3),
+        batch_sizes=(1, 2),
+        num_requests=4,
+        rate_rps=50.0,
+        pattern="uniform",
+        window_s=0.05,
+        seed=0,
+        calibrate=False,
+        verify_invariance=True,
+    )
+
+
+def test_simulate_serving_reports_all_batch_sizes(tiny_report):
+    assert sorted(tiny_report.per_batch) == [1, 2]
+    for size, report in tiny_report.per_batch.items():
+        assert report.num_requests == 4
+        assert report.throughput_rps > 0.0
+        assert report.latency_p50_s <= report.latency_p99_s
+        assert 1.0 <= report.mean_batch_fill <= size
+        assert 0.0 <= report.temporal_relative_bops <= 1.0
+        assert report.mac_savings_pct == pytest.approx(
+            100.0 * (1.0 - report.temporal_relative_bops)
+        )
+
+
+def test_simulate_serving_verifies_invariance(tiny_report):
+    # verify_invariance re-ran a micro-batch request-by-request bit-exactly.
+    assert tiny_report.invariance_checked
+
+
+def test_serving_report_renders_and_serializes(tiny_report):
+    text = tiny_report.summary()
+    assert "tinyServe" in text
+    assert "req/s" in text
+    payload = json.loads(json.dumps(tiny_report.to_json()))
+    assert payload["num_requests"] == 4
+    assert set(payload["per_batch"]) == {"1", "2"}
+    assert payload["per_batch"]["2"]["batch_size"] == 2
+
+
+def test_simulate_serving_validates_batch_sizes():
+    with pytest.raises(ValueError):
+        simulate_serving(make_tiny_spec(), batch_sizes=(0,), num_requests=2)
+
+
+def test_verify_refuses_when_no_multi_request_batch_possible():
+    # --verify must never silently verify nothing: with a max batch of 1
+    # no multi-request batch can exist, so it fails loudly.
+    with pytest.raises(ValueError, match="multi-request batch"):
+        simulate_serving(
+            make_tiny_spec("tinyV", num_steps=2),
+            batch_sizes=(1,),
+            num_requests=4,
+            calibrate=False,
+            verify_invariance=True,
+        )
+
+
+def test_mean_batch_fill_counts_batches_not_requests():
+    reqs = _reqs([0.0] * 6)
+    served, service, _ = _drain_queue(
+        _InstantEngine(), reqs, _noises(6), window_s=0.0, max_batch=4
+    )
+    # One batch of 4 + one of 2: per-batch mean is 3.0 (a request-weighted
+    # mean would claim 3.33).
+    assert len(served) / len(service) == pytest.approx(3.0)
+
+
+def test_cli_serve_smoke(capsys):
+    from repro.cli import main
+
+    code = main(
+        [
+            "serve", "DDPM", "--steps", "3", "--requests", "3",
+            "--batch-sizes", "1", "2", "--rate", "20", "--pattern", "uniform",
+            "--window", "0.02",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "DDPM: 3 requests" in out
+    assert "MAC sav%" in out

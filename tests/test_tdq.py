@@ -24,11 +24,29 @@ def clear_active_step():
 
 
 def test_cluster_bounds_partition():
-    assert cluster_bounds(10, 3) == [0, 3, 7]
+    # Ceil-style edges: larger windows first, as the docstring promises.
+    assert cluster_bounds(10, 3) == [0, 4, 7]  # windows of 4, 3, 3 steps
     assert cluster_bounds(10, 1) == [0]
     assert cluster_bounds(4, 8) == [0, 1, 2, 3]  # capped at num_steps
     with pytest.raises(ValueError):
         cluster_bounds(10, 0)
+
+
+def test_cluster_bounds_boundaries():
+    assert cluster_bounds(9, 3) == [0, 3, 6]  # exact division: even windows
+    assert cluster_bounds(7, 2) == [0, 4]  # odd split: first window larger
+    assert cluster_bounds(1, 1) == [0]
+    assert cluster_bounds(1, 5) == [0]  # num_clusters > num_steps collapses
+    assert cluster_bounds(5, 5) == [0, 1, 2, 3, 4]  # one step per cluster
+    assert cluster_bounds(0, 3) == []  # empty trajectory: no windows
+    # Starts are strictly increasing and inside range: no empty window ever.
+    for steps in range(1, 30):
+        for clusters in range(1, 12):
+            bounds = cluster_bounds(steps, clusters)
+            assert bounds[0] == 0
+            assert all(b2 > b1 for b1, b2 in zip(bounds, bounds[1:]))
+            assert bounds[-1] < steps
+            assert len(bounds) == min(clusters, steps)
 
 
 def test_cluster_of_mapping():
