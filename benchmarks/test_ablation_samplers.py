@@ -8,8 +8,6 @@ Ditto's speedup - quantifying the regime in which the paper's mechanism
 pays off.
 """
 
-import numpy as np
-
 from repro.core import DittoEngine
 from repro.core.bitwidth import BitWidthStats
 from repro.hw import DesignPoint, evaluate_designs

@@ -78,8 +78,6 @@ def test_fig19_dynamic_ditto(benchmark, engine_results, record_result):
 
 def test_fig19_drift_helper_properties(benchmark, engine_results):
     """The drift transform only moves mass into the high bucket."""
-    from repro.core.synthetic import degrade_stats
-
     result = engine_results["DDPM"]
 
     def analyze():

@@ -1,0 +1,177 @@
+#!/usr/bin/env python
+"""CI perf-regression gate: compare a fresh bench record to the baseline.
+
+``repro bench`` writes machine-readable cold/warm timings per benchmark and
+batch size (schema 2, see ``repro.bench``).  This script compares a freshly
+measured record against the committed baseline (``BENCH_PR3.json``) and
+exits non-zero when any timing regressed beyond the tolerance - turning the
+perf-smoke job from an artifact uploader into an actual gate.
+
+Usage::
+
+    python scripts/check_bench.py FRESH.json [--baseline BENCH_PR3.json]
+        [--tol 0.25]
+
+A fresh timing ``t`` fails against baseline ``b`` when ``t > b * (1 + tol)``
+*and* ``t - b > min_delta``.  The default tolerance is 25% (CI-runner noise
+on sub-second timings is real); override with ``--tol`` or the
+``REPRO_BENCH_TOL`` environment variable (``--tol`` wins).  ``min_delta``
+(default 50 ms, ``--min-delta`` / ``REPRO_BENCH_MIN_DELTA``) keeps
+micro-timings like the sub-millisecond warm cache load from tripping the
+relative gate on scheduler jitter.  Speedups and new benchmarks/batch sizes
+never fail; disappeared entries are reported but only warn (the gate guards
+regressions, not coverage).
+
+When both records carry the host speed probe (``host.speed_index_s``,
+recorded by ``repro bench`` since schema 2 of PR 4), timings are
+*normalized* by it before comparison: a hosted CI runner that is 2x slower
+than the machine that recorded the baseline also measures a ~2x speed
+index, so the gate compares machine-relative work, not raw wall clock.
+``--no-normalize`` forces the raw comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+# The timings the gate guards, per (benchmark, batch size) record.
+GATED_METRICS = ("cold_build_s", "cold_run_s", "cold_total_s", "warm_load_s")
+
+
+def iter_timings(record):
+    """Yield ``(benchmark, batch_size, metric, value)`` from a bench record."""
+    for bench, rec in record.get("benchmarks", {}).items():
+        for size, sized in rec.get("by_batch_size", {}).items():
+            for metric in GATED_METRICS:
+                value = sized.get(metric)
+                if value is not None:
+                    yield bench, size, metric, float(value)
+
+
+def speed_scale(baseline: dict, fresh: dict):
+    """fresh/baseline host-speed ratio, or None when either probe is absent.
+
+    Dividing fresh timings by this ratio converts them to "baseline-machine
+    seconds", making the comparison machine-relative.
+    """
+    base_idx = (baseline.get("host") or {}).get("speed_index_s")
+    fresh_idx = (fresh.get("host") or {}).get("speed_index_s")
+    if not base_idx or not fresh_idx:
+        return None
+    return float(fresh_idx) / float(base_idx)
+
+
+def compare(
+    baseline: dict,
+    fresh: dict,
+    tolerance: float,
+    min_delta: float,
+    scale: float = 1.0,
+):
+    """Return (rows, regressions, missing): every comparison, the failures,
+    and baseline entries absent from the fresh record.  Fresh timings are
+    divided by ``scale`` (the host-speed ratio) before the gate applies."""
+    fresh_map = {
+        (b, s, m): v for b, s, m, v in iter_timings(fresh)
+    }
+    rows, regressions, missing = [], [], []
+    for bench, size, metric, base in iter_timings(baseline):
+        key = (bench, size, metric)
+        new = fresh_map.get(key)
+        if new is None:
+            missing.append(key)
+            continue
+        adjusted = new / scale
+        ratio = adjusted / base if base > 0 else float("inf")
+        regressed = (
+            adjusted > base * (1.0 + tolerance)
+            and adjusted - base > min_delta
+        )
+        rows.append((bench, size, metric, base, adjusted, ratio, regressed))
+        if regressed:
+            regressions.append(rows[-1])
+    return rows, regressions, missing
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail when a fresh repro-bench record regresses vs baseline"
+    )
+    parser.add_argument("fresh", help="freshly measured bench JSON")
+    parser.add_argument(
+        "--baseline", default="BENCH_PR3.json",
+        help="committed baseline record (default: BENCH_PR3.json)",
+    )
+    parser.add_argument(
+        "--tol", type=float, default=None, metavar="FRACTION",
+        help="allowed slowdown fraction (default: $REPRO_BENCH_TOL or 0.25)",
+    )
+    parser.add_argument(
+        "--min-delta", type=float, default=None, metavar="SECONDS",
+        help="absolute slack before the relative gate applies "
+             "(default: $REPRO_BENCH_MIN_DELTA or 0.05)",
+    )
+    parser.add_argument(
+        "--no-normalize", action="store_true",
+        help="compare raw wall clock even when both records carry the "
+             "host speed probe",
+    )
+    args = parser.parse_args(argv)
+
+    tolerance = args.tol
+    if tolerance is None:
+        tolerance = float(os.environ.get("REPRO_BENCH_TOL", "0.25"))
+    if tolerance < 0:
+        parser.error(f"tolerance must be >= 0, got {tolerance}")
+    min_delta = args.min_delta
+    if min_delta is None:
+        min_delta = float(os.environ.get("REPRO_BENCH_MIN_DELTA", "0.05"))
+    if min_delta < 0:
+        parser.error(f"min-delta must be >= 0, got {min_delta}")
+
+    try:
+        baseline = json.loads(Path(args.baseline).read_text())
+        fresh = json.loads(Path(args.fresh).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"check_bench: cannot read records: {exc}", file=sys.stderr)
+        return 2
+
+    scale = None if args.no_normalize else speed_scale(baseline, fresh)
+    rows, regressions, missing = compare(
+        baseline, fresh, tolerance, min_delta, scale=scale or 1.0
+    )
+    if not rows:
+        print("check_bench: no comparable timings between the records",
+              file=sys.stderr)
+        return 2
+
+    width = max(len(f"{b} b{s} {m}") for b, s, m, *_ in rows)
+    print(f"perf gate: tolerance +{100 * tolerance:.0f}% "
+          f"(min delta {min_delta:g}s) "
+          f"({args.baseline} -> {args.fresh})")
+    if scale is None:
+        print("  raw wall clock (no host speed probe in both records)")
+    else:
+        print(f"  host speed ratio {scale:.3f} - fresh timings shown in "
+              "baseline-machine seconds")
+    for bench, size, metric, base, new, ratio, regressed in rows:
+        flag = "REGRESSED" if regressed else "ok"
+        print(f"  {f'{bench} b{size} {metric}':<{width}}  "
+              f"{base:8.4f}s -> {new:8.4f}s  x{ratio:5.2f}  {flag}")
+    for bench, size, metric in missing:
+        print(f"  warning: {bench} b{size} {metric} missing from fresh record")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} timing(s) regressed beyond "
+              f"+{100 * tolerance:.0f}% (override via REPRO_BENCH_TOL)")
+        return 1
+    print(f"\nOK: {len(rows)} timing(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,7 +29,10 @@ from .runtime.hashing import engine_key
 from .scratch import clear_scratch
 from .workloads import get_benchmark
 
-__all__ = ["bench_benchmark", "run_bench", "DEFAULT_OUT", "clear_pools"]
+__all__ = [
+    "bench_benchmark", "run_bench", "DEFAULT_OUT", "clear_pools",
+    "host_speed_index",
+]
 
 DEFAULT_OUT = "BENCH_PR3.json"
 
@@ -38,6 +41,32 @@ def clear_pools() -> None:
     """Reset the per-thread scratch pools between measured models."""
     clear_scratch()
     clear_classification_pool()
+
+
+def host_speed_index(repeats: int = 9) -> float:
+    """Seconds for a fixed single-core numpy workload (smaller = faster).
+
+    A ~30 ms float64 GEMM + elementwise probe shaped like the engine's hot
+    path.  Recorded into every bench record so the CI perf gate
+    (``scripts/check_bench.py``) can compare *normalized* timings across
+    machines - a hosted runner 2x slower than the machine that recorded the
+    baseline also measures a ~2x speed index, leaving the ratio meaningful.
+    Best-of-``repeats`` to shed scheduler noise.
+    """
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((256, 256))
+    b = rng.standard_normal((256, 256))
+    (a @ b)  # BLAS warmup: first-call setup must not pollute the probe
+    best = float("inf")
+    for _ in range(max(repeats, 1)):
+        t0 = time.perf_counter()
+        c = a
+        for _ in range(8):
+            c = c @ b
+            np.rint(c, out=c)
+            np.clip(c, -127, 127, out=c)
+        best = min(best, time.perf_counter() - t0)
+    return best
 
 
 def _bench_one_batch_size(
@@ -180,6 +209,9 @@ def run_bench(
             "platform": platform.platform(),
             "python": platform.python_version(),
             "numpy": np.__version__,
+            # Single-core numpy speed probe: lets the perf gate normalize
+            # absolute timings recorded on different machine classes.
+            "speed_index_s": round(host_speed_index(), 5),
         },
         "config": {
             "repeats": repeats,

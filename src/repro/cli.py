@@ -14,9 +14,14 @@ Commands
     Run every benchmark and print the Fig. 13-style summary matrix.
 ``serve BENCH``
     Simulate the paper's serving scenario: a request queue with a
-    configurable arrival pattern and micro-batching window driven at
-    ``--batch-sizes`` (default 1 2 4 8); reports throughput, latency
-    percentiles, and temporal-mode MAC savings per batch size.
+    configurable arrival pattern driven at ``--batch-sizes`` (default
+    1 2 4 8) under ``--scheduler fixed`` (lockstep micro-batching window)
+    or ``--scheduler continuous`` (iteration-level scheduling with
+    per-row timesteps); reports throughput, latency percentiles,
+    utilization, and temporal-mode MAC savings per batch size.
+    ``--pool-budget-mb`` caps batch sizes by scratch-memory footprint;
+    ``--verify`` asserts every request is bit-exact with its seeded
+    batch-1 reference.
 ``bench [BENCH ...]``
     Time the cold engine build+run and warm cache load per benchmark and
     batch size, and write machine-readable JSON (``--quick`` restricts to
@@ -121,7 +126,29 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("benchmark", choices=list(SUITE))
     serve_p.add_argument(
         "--batch-sizes", type=int, nargs="+", default=[1, 2, 4, 8],
-        metavar="N", help="maximum micro-batch sizes to sweep",
+        metavar="N",
+        help="maximum micro-batch sizes (fixed) / session capacities "
+             "(continuous) to sweep",
+    )
+    serve_p.add_argument(
+        "--scheduler", choices=["fixed", "continuous"], default="fixed",
+        help="fixed: lockstep micro-batches; continuous: iteration-level "
+             "scheduling (rows admitted/evicted at step boundaries, each at "
+             "its own timestep)",
+    )
+    serve_p.add_argument(
+        "--pool-budget-mb", type=float, default=None, metavar="MB",
+        help="scratch-pool memory budget; caps every batch size at the "
+             "largest row count that fits (refuses budgets below one row)",
+    )
+    serve_p.add_argument(
+        "--sampler", choices=["ddim", "ddpm", "plms", "dpmpp"], default=None,
+        help="override the benchmark's sampler (e.g. ddpm for stochastic "
+             "ancestral sampling)",
+    )
+    serve_p.add_argument(
+        "--eta", type=float, default=None, metavar="ETA",
+        help="stochastic DDIM eta (> 0 draws per-request posterior noise)",
     )
     serve_p.add_argument(
         "--requests", type=int, default=16, metavar="N",
@@ -288,6 +315,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         seed=args.seed,
         guidance_scale=args.guidance,
         verify_invariance=args.verify,
+        scheduler=args.scheduler,
+        pool_budget_mb=args.pool_budget_mb,
+        sampler=args.sampler,
+        sampler_eta=args.eta,
     )
     print(report.summary())
     if args.out:

@@ -10,6 +10,7 @@ from .bops import (
 )
 from .defo import DefoReport, run_defo, run_ideal
 from .engine import DittoEngine, EngineResult
+from .session import EngineSession
 from .graphinfo import GraphAnalyzer, LayerStaticInfo, analyze_model
 from .modes import ExecutionMode
 from .policy import lower_dense, lower_spatial, lower_temporal
@@ -58,6 +59,7 @@ __all__ = [
     "analyze_model",
     "DittoEngine",
     "EngineResult",
+    "EngineSession",
     "ActivationCapture",
     "SimilarityReport",
     "cosine",

@@ -20,11 +20,11 @@ any hardware, and all hardware comparisons.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from ..diffusion.pipeline import GenerationPipeline
+from ..diffusion.pipeline import GenerationPipeline, PerElementRNG
 from ..diffusion.samplers import make_sampler
 from ..diffusion.schedule import DiffusionSchedule
 from ..nn.module import Module
@@ -91,6 +91,7 @@ class DittoEngine:
         step_clusters: int = 1,
         guidance_scale: Optional[float] = None,
         uncond_conditioning: Optional[dict] = None,
+        sampler_eta: Optional[float] = None,
     ) -> "DittoEngine":
         """Quantize ``fp_model`` (optionally trajectory-calibrated) and wrap it.
 
@@ -101,11 +102,12 @@ class DittoEngine:
         its own, tighter scale, and the engine re-runs one dense step at each
         cluster boundary.  ``guidance_scale`` enables classifier-free
         guidance (the calibration trajectory then covers the stacked
-        [cond; uncond] layout the serving run uses).  The model is quantized
-        *in place*.
+        [cond; uncond] layout the serving run uses).  ``sampler_eta``
+        selects stochastic DDIM (eta > 0 posterior noise).  The model is
+        quantized *in place*.
         """
         schedule = DiffusionSchedule(num_train_steps)
-        sampler = make_sampler(sampler_name, schedule, num_steps)
+        sampler = make_sampler(sampler_name, schedule, num_steps, eta=sampler_eta)
         pipeline = GenerationPipeline(
             fp_model,
             sampler,
@@ -160,12 +162,16 @@ class DittoEngine:
         calibration_seed: int = 11,
         step_clusters: int = 1,
         guidance_scale: Optional[float] = None,
+        sampler: Optional[str] = None,
+        sampler_eta: Optional[float] = None,
     ) -> "DittoEngine":
         """Build an engine from a Table I :class:`BenchmarkSpec`.
 
         ``guidance_scale`` overrides the spec's default guidance; passing a
         value requires the spec to provide ``build_uncond_conditioning``
         (e.g. the empty-prompt embedding for text-conditional benchmarks).
+        ``sampler`` / ``sampler_eta`` override the spec's sampler (e.g. to
+        serve a benchmark under stochastic DDPM ancestral sampling).
         """
         fp_model = spec.build_model()
         conditioning = spec.build_conditioning()
@@ -182,7 +188,8 @@ class DittoEngine:
             uncond_conditioning = build_uncond()
         return cls.from_model(
             fp_model,
-            sampler_name=spec.sampler,
+            sampler_name=sampler or spec.sampler,
+            sampler_eta=sampler_eta,
             num_steps=num_steps or spec.num_steps,
             sample_shape=spec.sample_shape,
             conditioning=conditioning,
@@ -242,16 +249,34 @@ class DittoEngine:
         from ..quant.qlayers import QAttention, iter_qlayers
 
         for _, qlayer in iter_qlayers(self.qmodel):
-            if not qlayer.input_quant.calibrated:
-                return False
-            if isinstance(qlayer, QAttention) and not all(
-                q.calibrated
-                for q in (
-                    qlayer.q_quant, qlayer.k_quant, qlayer.v_quant, qlayer.p_quant
-                )
-            ):
+            if isinstance(qlayer, QAttention):
+                # The attention wrapper's own input_quant is never exercised
+                # (the projections quantize); requiring it would force the
+                # probe forward on every uninstrumented run forever.
+                if not all(
+                    q.calibrated
+                    for q in (
+                        qlayer.q_quant, qlayer.k_quant,
+                        qlayer.v_quant, qlayer.p_quant,
+                    )
+                ):
+                    return False
+            elif not qlayer.input_quant.calibrated:
                 return False
         return True
+
+    # -- row-granular serving ------------------------------------------------
+    def open_session(self, capacity: Optional[int] = None):
+        """Open a continuous-batching session over this engine.
+
+        The session owns the model's temporal state until closed: rows are
+        admitted/evicted at step boundaries and each advances at its own
+        timestep, bit-exact with its seeded batch-1 reference run.  See
+        :class:`repro.core.session.EngineSession`.
+        """
+        from .session import EngineSession
+
+        return EngineSession(self, capacity=capacity)
 
     # -- instrumented generation --------------------------------------------
     def run(
@@ -260,15 +285,21 @@ class DittoEngine:
         seed: int = 0,
         x_init: Optional[np.ndarray] = None,
         record_trace: bool = True,
+        rngs: Optional[Sequence[np.random.Generator]] = None,
     ) -> EngineResult:
         """Generate one batch while recording the rich trace.
 
         ``x_init`` seeds the trajectory with explicit initial noise of shape
         ``(batch, *sample_shape)`` instead of drawing from ``seed``; the
         serving runtime uses it to stack independently-seeded requests into
-        one micro-batch.  ``record_trace=False`` skips all bit-width
-        instrumentation (the rich trace comes back empty) - the throughput
-        configuration, since stats scans dominate the instrumented run.
+        one micro-batch.  ``rngs`` supplies one independent noise stream per
+        batch element (``SeedSequence.spawn``-style) for the sampler's
+        stochastic draws, extending the batch-invariance contract to
+        ddpm/eta>0: a batch-N run over streams ``[g_0..g_{N-1}]`` is
+        bit-exact with N batch-1 runs each passed its own ``g_i``.
+        ``record_trace=False`` skips all bit-width instrumentation (the rich
+        trace comes back empty) - the throughput configuration, since stats
+        scans dominate the instrumented run.
         """
         if x_init is not None:
             x_init = np.asarray(x_init)
@@ -285,6 +316,11 @@ class DittoEngine:
                     f"dimension {x_init.shape[0]}; pass one or the other"
                 )
             batch_size = x_init.shape[0]
+        if rngs is not None and len(rngs) != batch_size:
+            raise ValueError(
+                f"rngs supplies {len(rngs)} per-element streams for a batch "
+                f"of {batch_size}; need exactly one stream per element"
+            )
         if record_trace:
             static_info = self.analyze_graph(batch_size)
         else:
@@ -318,16 +354,20 @@ class DittoEngine:
             calls[0] += 1
             return original_predict(x, t)
 
+        if rngs is not None:
+            rng = PerElementRNG(rngs)
+        else:
+            rng = np.random.default_rng(seed)
         self.pipeline.predict_noise = counted_predict
         try:
             if record_trace:
                 with recorder:
                     samples = self.pipeline.generate(
-                        batch_size, np.random.default_rng(seed), x_init=x_init
+                        batch_size, rng, x_init=x_init
                     )
             else:
                 samples = self.pipeline.generate(
-                    batch_size, np.random.default_rng(seed), x_init=x_init
+                    batch_size, rng, x_init=x_init
                 )
         finally:
             self.pipeline.predict_noise = original_predict

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from .modes import ExecutionMode
 from .trace import DENSE_ID, SPATIAL_ID, TEMPORAL_ID, RichLayerStep, RichTrace, Trace
 
 __all__ = [

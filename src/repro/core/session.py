@@ -1,0 +1,270 @@
+"""Continuous-batching sessions: row-granular stepping over a DittoEngine.
+
+The micro-batcher of :mod:`repro.runtime.serving` launches *lockstep*
+batches: every row enters at step 0 and leaves at step N together, so the
+engine drains between batches and late arrivals wait a full trajectory.
+Iteration-level (Orca-style) scheduling removes the drain: the engine keeps
+one persistent batch whose rows each carry their *own* step index; finished
+rows are evicted at step boundaries and queued requests admitted into the
+freed rows, so the denoiser never runs below the achievable occupancy.
+
+:class:`EngineSession` is that persistent batch.  Its correctness contract
+is the serving invariance contract extended to arbitrary interleavings:
+
+* every layer's temporal state differences per batch element, so a
+  continuing row is unaffected by its neighbours being swapped;
+* an admitted row starts from *zero* state, and the difference algebra
+  (``0 + (q - 0) @ W == q @ W``, likewise for both attention identities)
+  makes its first "temporal" step compute bit-exactly the dense result;
+* per-row step indices feed the TDQ clustered quantizers
+  (:func:`repro.quant.tdq.set_active_step` with a step vector), so each row
+  quantizes under exactly the cluster scale its batch-1 replay would use,
+  and a row crossing a cluster boundary falls back to dense *alone*;
+* each row draws sampler noise from its own rng stream, so stochastic
+  samplers (ddpm, ddim eta>0) replay their batch-1 reference exactly.
+
+Together: any interleaving of admissions and evictions is bit-exact with N
+seeded batch-1 runs (pinned by ``tests/test_batched_state.py``).
+
+Sessions never record traces - they are the throughput path.  Multi-step
+samplers (PLMS, DPM-Solver++) keep whole-batch history and are rejected at
+session open.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..quant.qlayers import (
+    remap_model_rows,
+    reset_model_state,
+    set_model_mode,
+)
+from ..quant.tdq import set_active_step
+from ..scratch import clear_scratch
+from .modes import ExecutionMode
+
+__all__ = ["EngineSession"]
+
+
+@dataclass
+class _SessionRow:
+    """One in-flight request: identity, trajectory position, noise stream."""
+
+    tag: object
+    step: int  # next denoiser-call index for this row
+    rng: Optional[np.random.Generator]
+
+
+class EngineSession:
+    """A persistent batch whose rows each advance at their own timestep.
+
+    Use as a context manager (or call :meth:`close`): the session owns the
+    engine's model state - interleaving ``engine.run`` calls with an open
+    session corrupts the per-row temporal caches.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`~repro.core.engine.DittoEngine` to serve.
+    capacity:
+        Maximum concurrent rows (``None`` = unbounded).  The serving driver
+        derives this from the micro-batch size sweep and, optionally, from a
+        scratch-pool memory budget.
+    """
+
+    def __init__(self, engine, capacity: Optional[int] = None) -> None:
+        sampler = engine.pipeline.sampler
+        if not getattr(sampler, "row_stepping", False):
+            raise ValueError(
+                f"sampler {sampler.name!r} keeps cross-step history shared "
+                "across the batch; continuous batching needs a row-steppable "
+                "sampler (ddim/ddpm)"
+            )
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self.num_steps = len(sampler.timesteps)
+        self._sample_shape = tuple(engine.pipeline.sample_shape)
+        self._rows: List[_SessionRow] = []
+        self._x = np.zeros((0,) + self._sample_shape)
+        # Composition bookkeeping: the model state is shaped for
+        # ``_state_batch`` rows; ``_mapping[new_pos]`` is the state row that
+        # position continues (None = freshly admitted, zero state).
+        self._state_batch = 0
+        self._mapping: List[Optional[int]] = []
+        self._tags = itertools.count()
+        self._closed = False
+        # Sticky scales must freeze batch-independently before any serving
+        # row runs; a no-op once the engine has served anything.
+        engine._freeze_scales(1)
+        reset_model_state(engine.qmodel)
+        set_model_mode(engine.qmodel, ExecutionMode.TEMPORAL)
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        """Number of in-flight rows."""
+        return len(self._rows)
+
+    @property
+    def tags(self) -> List[object]:
+        return [row.tag for row in self._rows]
+
+    def __enter__(self) -> "EngineSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- admission / eviction ---------------------------------------------
+    def admit(
+        self,
+        x_init: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+        tag: Optional[object] = None,
+    ) -> object:
+        """Queue one request into the batch, starting at step 0.
+
+        ``x_init`` is the request's initial noise, shape ``sample_shape`` or
+        ``(1, *sample_shape)``.  ``rng`` is the request's private sampler
+        noise stream (required for stochastic samplers).  Returns the row's
+        ``tag`` (auto-assigned if not given).  Takes effect at the next
+        :meth:`step`.
+        """
+        self._check_open()
+        if self.capacity is not None and len(self._rows) >= self.capacity:
+            raise RuntimeError(
+                f"session is at capacity ({self.capacity} rows); evict or "
+                "step before admitting"
+            )
+        x = np.asarray(x_init, dtype=np.float64)
+        if x.shape == self._sample_shape:
+            x = x[None]
+        if x.shape != (1,) + self._sample_shape:
+            raise ValueError(
+                f"x_init must have shape {self._sample_shape} or "
+                f"(1, {', '.join(map(str, self._sample_shape))}); "
+                f"got {x.shape}"
+            )
+        sampler = self.engine.pipeline.sampler
+        if rng is None and getattr(sampler, "needs_rng", False):
+            raise ValueError(
+                f"sampler {sampler.name!r} draws posterior noise; admit() "
+                "needs the request's private rng stream"
+            )
+        if tag is None:
+            tag = next(self._tags)
+        elif any(row.tag == tag for row in self._rows):
+            raise ValueError(f"tag {tag!r} is already in flight")
+        self._rows.append(_SessionRow(tag=tag, step=0, rng=rng))
+        self._x = np.concatenate([self._x, x], axis=0)
+        self._mapping.append(None)
+        return tag
+
+    def evict(self, tag: object) -> np.ndarray:
+        """Remove an in-flight row (cancellation); returns its current x."""
+        self._check_open()
+        for pos, row in enumerate(self._rows):
+            if row.tag == tag:
+                x_row = self._x[pos : pos + 1].copy()
+                self._drop(pos)
+                return x_row
+        raise KeyError(f"no in-flight row tagged {tag!r}")
+
+    def _drop(self, pos: int) -> None:
+        del self._rows[pos]
+        del self._mapping[pos]
+        self._x = np.delete(self._x, pos, axis=0)
+
+    # -- stepping ----------------------------------------------------------
+    def step(self) -> List[Tuple[object, np.ndarray]]:
+        """Advance every in-flight row by one step; one denoiser call.
+
+        Applies any pending composition change (admissions/evictions since
+        the previous step) to the layer state, runs the denoiser once with
+        the per-row timestep vector, advances each row with its own sampler
+        step and noise stream, and auto-evicts rows that completed their
+        trajectory.  Returns ``[(tag, sample), ...]`` for the completed rows
+        (sample shape ``(1, *sample_shape)``).
+        """
+        self._check_open()
+        if not self._rows:
+            raise RuntimeError("no in-flight rows; admit before stepping")
+        engine = self.engine
+        pipeline = engine.pipeline
+        sampler = pipeline.sampler
+        batch = len(self._rows)
+        if self._mapping != list(range(self._state_batch)):
+            if self._state_batch == 0:
+                reset_model_state(engine.qmodel)
+            else:
+                remap_model_rows(engine.qmodel, self._mapping, self._state_batch)
+            # The scratch pool keys buffers by (tag, shape) and never
+            # evicts; occupancy churn would otherwise accumulate one buffer
+            # set per distinct batch size (~capacity^2/2 rows at peak,
+            # breaking the linear-growth assumption the --pool-budget-mb
+            # cap relies on).  Dropping the pool at composition changes
+            # costs one buffer-set reallocation per admission/eviction -
+            # negligible against a denoiser step - and pins peak scratch to
+            # the current batch size.
+            clear_scratch()
+        # Commit the composition as soon as the layer state matches it -
+        # NOT after the forward.  If the forward or sampler raises (e.g. a
+        # stochastic row admitted without an rng stream), a retried step
+        # must see an identity mapping: re-applying the old mapping to the
+        # already-remapped state would hand surviving rows another row's
+        # temporal caches.  (A retried forward itself is safe: layers that
+        # already advanced see a zero temporal diff and reproduce their
+        # output bit-exactly.)
+        self._state_batch = batch
+        self._mapping = list(range(batch))
+        steps = np.array([row.step for row in self._rows])
+        t_rows = sampler.timesteps[steps].astype(np.float64)
+        set_active_step(steps)
+        try:
+            eps = pipeline.predict_noise_rows(self._x, t_rows)
+            x_new = sampler.step_rows(
+                eps, steps, self._x, [row.rng for row in self._rows]
+            )
+        finally:
+            set_active_step(None)
+        self._x = x_new
+        finished: List[Tuple[object, np.ndarray]] = []
+        for pos in range(batch - 1, -1, -1):
+            row = self._rows[pos]
+            row.step += 1
+            if row.step >= self.num_steps:
+                finished.append((row.tag, self._x[pos : pos + 1].copy()))
+                self._drop(pos)
+        finished.reverse()  # report in row order
+        return finished
+
+    def run_to_completion(self) -> Dict[object, np.ndarray]:
+        """Step until the batch drains; returns ``{tag: sample}``."""
+        samples: Dict[object, np.ndarray] = {}
+        while self._rows:
+            for tag, sample in self.step():
+                samples[tag] = sample
+        return samples
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        """Release the engine: drop temporal state, clear the step vector."""
+        if self._closed:
+            return
+        self._closed = True
+        self._rows = []
+        self._x = np.zeros((0,) + self._sample_shape)
+        set_active_step(None)
+        reset_model_state(self.engine.qmodel)
+        clear_scratch()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("session is closed")

@@ -15,7 +15,7 @@ and the analysis tooling uses layer forward hooks to capture activations.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Sequence
 
 import numpy as np
 
@@ -23,9 +23,39 @@ from ..nn.module import Module
 from .samplers import PLMSSampler, Sampler
 from .schedule import DiffusionSchedule
 
-__all__ = ["GenerationPipeline"]
+__all__ = ["GenerationPipeline", "PerElementRNG"]
 
 StepCallback = Callable[[int, int, np.ndarray], None]
+
+
+class PerElementRNG:
+    """Per-batch-element noise streams behind a Generator-like facade.
+
+    Stochastic samplers (DDPM ancestral, DDIM with eta > 0) call
+    ``rng.standard_normal(x.shape)`` once per step.  Drawing that from a
+    single stream entangles the batch rows: batch-N noise differs from the
+    noise N batch-1 runs would draw, breaking the bit-exact serving
+    contract.  This adapter holds one independent stream per row (spawned
+    via ``np.random.SeedSequence``) and draws each row's slab from its own
+    stream - exactly what a batch-1 run seeded with that stream draws - so
+    the invariance contract extends to stochastic samplers.
+    """
+
+    def __init__(self, streams: Sequence[np.random.Generator]) -> None:
+        if not streams:
+            raise ValueError("need at least one per-element rng stream")
+        self.streams = list(streams)
+
+    def standard_normal(self, shape) -> np.ndarray:
+        shape = tuple(shape)
+        if shape[0] != len(self.streams):
+            raise ValueError(
+                f"batch {shape[0]} != {len(self.streams)} rng streams"
+            )
+        return np.concatenate(
+            [g.standard_normal((1,) + shape[1:]) for g in self.streams],
+            axis=0,
+        )
 
 
 class GenerationPipeline:
@@ -140,14 +170,30 @@ class GenerationPipeline:
         temporal state stay valid: every time step sees the same layout, so
         each batch element differences against its own previous-step value.
         """
+        return self.predict_noise_rows(
+            x, np.full(x.shape[0], t, dtype=np.float64)
+        )
+
+    def predict_noise_rows(self, x: np.ndarray, t_rows: np.ndarray) -> np.ndarray:
+        """One denoiser evaluation with a *per-row* timestep vector.
+
+        The continuous-batching path: every batch row may sit at its own
+        timestep (the time embedding is computed per element anyway, and all
+        layer arithmetic is row-independent).  ``predict_noise`` is the
+        lockstep special case.
+        """
         batch = x.shape[0]
+        t_array = np.asarray(t_rows, dtype=np.float64)
+        if t_array.shape != (batch,):
+            raise ValueError(
+                f"t_rows must have shape ({batch},), got {t_array.shape}"
+            )
         if self.guidance_scale is None or self.guidance_scale == 1.0:
-            t_array = np.full(batch, t, dtype=np.float64)
             return self.model(x, t_array, **self._cached_cond("cond", batch))
         stacked = np.concatenate([x, x], axis=0)
         merged = self._cached_cond("merged", batch)
-        t_array = np.full(2 * batch, t, dtype=np.float64)
-        eps = self.model(stacked, t_array, **merged)
+        t_stacked = np.concatenate([t_array, t_array])
+        eps = self.model(stacked, t_stacked, **merged)
         eps_cond, eps_uncond = eps[:batch], eps[batch:]
         return eps_uncond + self.guidance_scale * (eps_cond - eps_uncond)
 

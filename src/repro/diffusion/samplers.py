@@ -11,7 +11,7 @@ is the "extra step 50'" visible in the paper's Fig. 4a).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from typing import Deque, Optional, Sequence
 
 import numpy as np
 
@@ -24,6 +24,12 @@ class Sampler:
     """Base class: maps (x_t, eps_hat) -> x_{t-1} along spaced timesteps."""
 
     name = "base"
+    # Whether ``step`` is pure per row (no cross-step history shared across
+    # the batch), i.e. whether a continuous-batching session may drive each
+    # batch row at its own step index via :meth:`step_rows`.  Multi-step
+    # samplers (PLMS, DPM-Solver++) keep whole-batch history and must stay
+    # lockstep.
+    row_stepping = True
 
     def __init__(self, schedule: DiffusionSchedule, num_steps: int) -> None:
         self.schedule = schedule
@@ -39,6 +45,11 @@ class Sampler:
     def reset(self) -> None:
         """Clear multi-step history (PLMS); no-op for single-step samplers."""
 
+    @property
+    def needs_rng(self) -> bool:
+        """Whether :meth:`step` draws noise (stochastic posterior sampling)."""
+        return False
+
     def model_calls_for_step(self, index: int) -> int:
         """Number of denoiser evaluations the sampler makes at ``index``."""
         return 1
@@ -51,6 +62,53 @@ class Sampler:
         rng: Optional[np.random.Generator] = None,
     ) -> np.ndarray:
         raise NotImplementedError
+
+    def step_rows(
+        self,
+        eps: np.ndarray,
+        indices: np.ndarray,
+        x: np.ndarray,
+        rngs: Optional[Sequence[Optional[np.random.Generator]]] = None,
+    ) -> np.ndarray:
+        """Advance each batch row at its *own* step index.
+
+        Row ``r`` of ``x``/``eps`` sits at trajectory index ``indices[r]``
+        and, for stochastic samplers, draws its posterior noise from its own
+        ``rngs[r]`` stream.  Implemented as per-row invocations of the scalar
+        :meth:`step` - the update rules are elementwise per sample, so this
+        is trivially bit-exact with the batch-1 run each row is replaying,
+        which is the whole point: continuous batching must not perturb any
+        request's result.
+        """
+        if not self.row_stepping:
+            raise ValueError(
+                f"sampler {self.name!r} keeps cross-step history shared "
+                "across the batch and cannot advance rows at different steps"
+            )
+        # Validate every row's stream BEFORE drawing from any: a mid-batch
+        # failure after partial draws would silently desynchronize the
+        # earlier rows' streams from their batch-1 references on retry.
+        if self.needs_rng:
+            bad = (
+                list(range(x.shape[0]))
+                if rngs is None
+                else [r for r in range(x.shape[0]) if rngs[r] is None]
+            )
+            if bad:
+                raise ValueError(
+                    f"sampler {self.name!r} needs an rng stream per row; "
+                    f"row(s) {bad} have none"
+                )
+        rows = [
+            self.step(
+                eps[r : r + 1],
+                int(indices[r]),
+                x[r : r + 1],
+                rng=None if rngs is None else rngs[r],
+            )
+            for r in range(x.shape[0])
+        ]
+        return np.concatenate(rows, axis=0)
 
     def _predict_x0(self, x: np.ndarray, eps: np.ndarray, a_bar: float) -> np.ndarray:
         return (x - np.sqrt(1.0 - a_bar) * eps) / np.sqrt(a_bar)
@@ -66,6 +124,10 @@ class DDIMSampler(Sampler):
     ) -> None:
         super().__init__(schedule, num_steps)
         self.eta = eta
+
+    @property
+    def needs_rng(self) -> bool:
+        return self.eta > 0.0
 
     def step(
         self,
@@ -94,6 +156,10 @@ class DDPMSampler(Sampler):
     """Ancestral sampler of Ho et al. (stochastic posterior sampling)."""
 
     name = "ddpm"
+
+    @property
+    def needs_rng(self) -> bool:
+        return True
 
     def step(
         self,
@@ -124,6 +190,7 @@ class PLMSSampler(Sampler):
     """
 
     name = "plms"
+    row_stepping = False  # 4-step Adams-Bashforth history is whole-batch
 
     def __init__(self, schedule: DiffusionSchedule, num_steps: int) -> None:
         super().__init__(schedule, num_steps)
@@ -187,6 +254,7 @@ class DPMSolverPlusPlusSampler(Sampler):
     """
 
     name = "dpmpp"
+    row_stepping = False  # 2M extrapolation state is whole-batch
 
     def __init__(self, schedule: DiffusionSchedule, num_steps: int) -> None:
         super().__init__(schedule, num_steps)
@@ -236,9 +304,16 @@ class DPMSolverPlusPlusSampler(Sampler):
 
 
 def make_sampler(
-    name: str, schedule: DiffusionSchedule, num_steps: int
+    name: str,
+    schedule: DiffusionSchedule,
+    num_steps: int,
+    eta: Optional[float] = None,
 ) -> Sampler:
-    """Factory mapping sampler names to implementations."""
+    """Factory mapping sampler names to implementations.
+
+    ``eta`` selects stochastic DDIM (posterior noise of scale ``eta``); it is
+    only meaningful for the ``ddim`` sampler.
+    """
     table = {
         "ddim": DDIMSampler,
         "ddpm": DDPMSampler,
@@ -247,4 +322,8 @@ def make_sampler(
     }
     if name not in table:
         raise ValueError(f"unknown sampler {name!r}; choose from {sorted(table)}")
+    if eta is not None:
+        if name != "ddim":
+            raise ValueError(f"eta only applies to the ddim sampler, not {name!r}")
+        return DDIMSampler(schedule, num_steps, eta=eta)
     return table[name](schedule, num_steps)

@@ -142,21 +142,21 @@ class HardwareReport:
     def total_cycles(self) -> float:
         if self._arrays is not None:
             return float(self._arrays["cycles"].sum())
-        return sum(l.cycles for l in self.layers)
+        return sum(layer.cycles for layer in self.layers)
 
     @property
     def compute_cycles(self) -> float:
         if self._arrays is not None:
             a = self._arrays
             return float(np.minimum(a["compute"], a["cycles"]).sum())
-        return sum(min(l.compute_cycles, l.cycles) for l in self.layers)
+        return sum(min(layer.compute_cycles, layer.cycles) for layer in self.layers)
 
     @property
     def stall_cycles(self) -> float:
         if self._arrays is not None:
             a = self._arrays
             return float(np.maximum(a["memory"] - a["compute"], 0.0).sum())
-        return sum(l.stall_cycles for l in self.layers)
+        return sum(layer.stall_cycles for layer in self.layers)
 
     # -- energy / traffic -------------------------------------------------
     @property
@@ -165,7 +165,7 @@ class HardwareReport:
             return float(
                 sum(arr.sum() for arr in self._arrays["energy"].values())
             )
-        return sum(l.total_energy_pj for l in self.layers)
+        return sum(layer.total_energy_pj for layer in self.layers)
 
     def energy_breakdown_pj(self) -> Dict[str, float]:
         if self._arrays is not None:
@@ -183,7 +183,7 @@ class HardwareReport:
     def total_bytes(self) -> int:
         if self._arrays is not None:
             return int(self._arrays["bytes_moved"].sum())
-        return sum(l.bytes_moved for l in self.layers)
+        return sum(layer.bytes_moved for layer in self.layers)
 
     # -- comparisons --------------------------------------------------------
     def speedup_over(self, other: "HardwareReport") -> float:

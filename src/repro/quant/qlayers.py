@@ -43,6 +43,8 @@ __all__ = [
     "iter_qlayers",
     "reset_model_state",
     "set_model_mode",
+    "remap_model_rows",
+    "model_state_nbytes",
 ]
 
 
@@ -61,6 +63,57 @@ def _max_product(bits: int) -> int:
     honour is 2^(2*bits - 1), not 2^(2*(bits-1)).
     """
     return 1 << (2 * bits - 1)
+
+
+def _remap_rows_array(
+    arr: Optional[np.ndarray],
+    mapping,
+    old_batch: int,
+    fill: float = 0.0,
+) -> Optional[np.ndarray]:
+    """Re-align a cached per-batch-element state array to a new composition.
+
+    ``mapping[new_pos]`` is the old row index that moved to ``new_pos``, or
+    ``None`` for a freshly admitted row.  Fresh rows are filled with
+    ``fill`` - zero state, by the distributive property the temporal path
+    computes exactly the dense result for an all-zero previous step, so an
+    admitted row's first "temporal" step is bit-exact with a dense one.
+
+    The leading dimension may be any multiple of ``old_batch`` (classifier-
+    free guidance stacks ``[cond; uncond]``); the mapping is applied per
+    block.  State whose leading dimension does not tile is dropped (``None``
+    - the layer then falls back to one dense step, which is always sound).
+    """
+    if arr is None:
+        return None
+    lead = arr.shape[0]
+    if old_batch <= 0 or lead % old_batch:
+        return None
+    reps = lead // old_batch
+    new_batch = len(mapping)
+    out = np.full((reps * new_batch,) + arr.shape[1:], fill, dtype=arr.dtype)
+    for block in range(reps):
+        src_base = block * old_batch
+        dst_base = block * new_batch
+        for pos, src in enumerate(mapping):
+            if src is not None:
+                out[dst_base + pos] = arr[src_base + src]
+    return out
+
+
+def _nbytes(*arrays) -> int:
+    """Total bytes of the given arrays, deduped by identity.
+
+    State fields may alias each other (``QConv2d._prev_cols`` IS one of the
+    ping-pong ``_cols_bufs`` after a forward); counting an aliased buffer
+    twice would inflate the measured per-row footprint and make the serving
+    pool budget refuse batch sizes that actually fit.
+    """
+    seen = {}
+    for a in arrays:
+        if isinstance(a, np.ndarray):
+            seen[id(a)] = a.nbytes
+    return sum(seen.values())
 
 
 def _spatial_diff_rows(mat: np.ndarray) -> np.ndarray:
@@ -143,6 +196,42 @@ class QLayerBase(Module):
         self._prev_out_int = None
         self._prev_scale = None
 
+    def _changed_grid_rows(self, q_in: np.ndarray):
+        """Which rows' integer grid moved since the cached state was written.
+
+        Returns ``None`` (no change), ``"all"`` (whole-batch change - the
+        lockstep TDQ cluster boundary, handled by one dense step exactly as
+        before), or a boolean per-row mask (rows at their own timesteps, some
+        of which just crossed a cluster boundary - only those rows fall back,
+        via zeroed state).
+        """
+        prev, cur = self._prev_scale, self.input_quant.scale
+        if prev is None:
+            return None
+        prev_arr = isinstance(prev, np.ndarray)
+        cur_arr = isinstance(cur, np.ndarray)
+        if not prev_arr and not cur_arr:
+            return "all" if prev != cur else None
+        batch = q_in.shape[0]
+        p = prev.reshape(batch) if prev_arr else np.full(batch, prev)
+        c = cur.reshape(batch) if cur_arr else np.full(batch, cur)
+        mask = p != c  # NaN-filled fresh rows always flag as changed
+        if not mask.any():
+            return None
+        if mask.all():
+            return "all"
+        return mask
+
+    def _invalidate_rows(self, mask: np.ndarray) -> None:
+        """Zero the cached state of ``mask``-ed rows (per-row dense fallback).
+
+        Zero previous input and zero previous output make the temporal path
+        compute ``0 + (q_in - 0) @ W`` - bit-exact with the dense product -
+        so invalidation never needs a whole-batch mode switch.
+        """
+        self._prev_q_in[mask] = 0
+        self._prev_out_int[mask] = 0
+
     def _temporal_diff(self, q_in: np.ndarray) -> Optional[np.ndarray]:
         prev = self._prev_q_in
         if prev is None or prev.shape != q_in.shape:
@@ -151,9 +240,13 @@ class QLayerBase(Module):
         # integer grid at cluster boundaries: the cached state was produced
         # under another scale, so differencing against it would be wrong.
         # Ditto then re-runs one dense step, exactly as the paper's synergy
-        # with Q-Diffusion/TDQ requires.
-        if self._prev_scale is not None and self._prev_scale != self.input_quant.scale:
-            return None
+        # with Q-Diffusion/TDQ requires.  With per-row step indices only the
+        # rows that crossed a boundary are invalidated (zeroed state).
+        changed = self._changed_grid_rows(q_in)
+        if changed is not None:
+            if isinstance(changed, str):  # "all"
+                return None
+            self._invalidate_rows(changed)
         # The difference is consumed within this forward (matmul operand
         # and/or classification) before any other layer runs, so it can live
         # in the shared per-thread scratch pool.
@@ -165,6 +258,27 @@ class QLayerBase(Module):
         if self.mode is ExecutionMode.TEMPORAL and diff is None:
             return ExecutionMode.DENSE
         return self.mode
+
+    def remap_rows(self, mapping, old_batch: int) -> None:
+        """Re-align cached temporal state to a new batch composition.
+
+        See :func:`remap_model_rows`.  Fresh rows (``None`` entries) get zero
+        state; a fresh row's ``_prev_scale`` is NaN so any grid comparison
+        flags it (harmlessly re-zeroing already-zero rows).
+        """
+        d = self.__dict__
+        d["_prev_q_in"] = _remap_rows_array(self._prev_q_in, mapping, old_batch)
+        d["_prev_out_int"] = _remap_rows_array(
+            self._prev_out_int, mapping, old_batch
+        )
+        if isinstance(self._prev_scale, np.ndarray):
+            d["_prev_scale"] = _remap_rows_array(
+                self._prev_scale, mapping, old_batch, fill=np.nan
+            )
+
+    def state_nbytes(self) -> int:
+        """Bytes of per-batch-element temporal state currently held."""
+        return _nbytes(self._prev_q_in, self._prev_out_int)
 
 
 def _quantize_weight(weight: np.ndarray, bits: int, per_channel: bool):
@@ -348,6 +462,23 @@ class QConv2d(QLayerBase):
         super().reset_state()
         self._prev_cols = None
 
+    def _invalidate_rows(self, mask: np.ndarray) -> None:
+        super()._invalidate_rows(mask)
+        prev_cols = self._prev_cols
+        if prev_cols is not None and prev_cols.shape[0] == mask.shape[0]:
+            prev_cols[mask] = 0
+
+    def remap_rows(self, mapping, old_batch: int) -> None:
+        super().remap_rows(mapping, old_batch)
+        self.__dict__["_prev_cols"] = _remap_rows_array(
+            self._prev_cols, mapping, old_batch
+        )
+
+    def state_nbytes(self) -> int:
+        return super().state_nbytes() + _nbytes(
+            self._prev_cols, *self._cols_bufs
+        )
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         # Values are exact small integers; float32 halves the memory traffic
         # of every downstream scan (diff, stats, unfold).
@@ -477,7 +608,13 @@ class QAttention(QLayerBase):
         self.v_quant = SymmetricQuantizer(bits)
         # Softmax probabilities live in [0, 1]; fix the scale accordingly.
         self.p_quant = SymmetricQuantizer(bits, scale=1.0 / 127.0)
-        self._context_cache: Optional[Tuple[int, np.ndarray, np.ndarray]] = None
+        # K'/V' projections per context object: keyed by id, holding a
+        # strong reference to the context so the id cannot be recycled.
+        # Multi-entry because the continuous scheduler alternates batch
+        # sizes (the pipeline memoizes one context object per size) - a
+        # single-entry cache would re-project K'/V' on every occupancy
+        # change.
+        self._context_cache: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
         self._prev: Dict[str, np.ndarray] = {}
         self.layer_name = ""  # re-assign now that the projections exist
 
@@ -506,9 +643,30 @@ class QAttention(QLayerBase):
     def reset_state(self) -> None:
         super().reset_state()
         self._prev.clear()
-        self._context_cache = None
+        self._context_cache.clear()
         for child in (self.to_q, self.to_k, self.to_v, self.to_out):
             child.reset_state()
+
+    def remap_rows(self, mapping, old_batch: int) -> None:
+        # The projection QLinears are remapped by the model-level walk (they
+        # are registered child modules); only the attention-matmul state and
+        # the context K'/V' cache are handled here.  Cached K'/V' rows are
+        # all identical (conditioning is tiled from one sample), so the cache
+        # stays valid whenever the context object - keyed by identity and
+        # memoized per batch size in the pipeline - is reused.
+        super().remap_rows(mapping, old_batch)
+        for key in list(self._prev):
+            remapped = _remap_rows_array(self._prev[key], mapping, old_batch)
+            if remapped is None:
+                del self._prev[key]
+            else:
+                self._prev[key] = remapped
+
+    def state_nbytes(self) -> int:
+        total = super().state_nbytes() + _nbytes(*self._prev.values())
+        for _, k_full, v_full in self._context_cache.values():
+            total += _nbytes(k_full, v_full)
+        return total
 
     def _split(self, x: np.ndarray) -> np.ndarray:
         b, t, _ = x.shape
@@ -548,12 +706,12 @@ class QAttention(QLayerBase):
         return self.to_out(merged)
 
     def _context_kv(self, context: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        key = id(context)
-        if self._context_cache is not None and self._context_cache[0] == key:
-            return self._context_cache[1], self._context_cache[2]
+        cached = self._context_cache.get(id(context))
+        if cached is not None:
+            return cached[1], cached[2]
         k_full = self.to_k(context)
         v_full = self.to_v(context)
-        self._context_cache = (key, k_full, v_full)
+        self._context_cache[id(context)] = (context, k_full, v_full)
         return k_full, v_full
 
     # -- the two activation x activation matmuls ---------------------------
@@ -769,3 +927,23 @@ def set_model_mode(model: Module, mode: ExecutionMode) -> None:
     """Set the execution mode of every quantized layer."""
     for _, qlayer in iter_qlayers(model):
         qlayer.mode = mode
+
+
+def remap_model_rows(model: Module, mapping, old_batch: int) -> None:
+    """Re-align every layer's temporal state to a new batch composition.
+
+    ``mapping`` lists, for each row of the *new* batch, the old row index it
+    continues (or ``None`` for a freshly admitted row).  Continuing rows keep
+    their cached ``_prev_*`` state - their next temporal step differences
+    against exactly the tensors their own previous step produced - while
+    fresh rows start from zero state, which the difference algebra turns
+    into a bit-exact dense first step.  This is the swap primitive behind
+    continuous batching (:class:`repro.core.session.EngineSession`).
+    """
+    for _, qlayer in iter_qlayers(model):
+        qlayer.remap_rows(mapping, old_batch)
+
+
+def model_state_nbytes(model: Module) -> int:
+    """Total bytes of cached temporal state across all quantized layers."""
+    return sum(qlayer.state_nbytes() for _, qlayer in iter_qlayers(model))

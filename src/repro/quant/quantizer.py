@@ -39,8 +39,15 @@ def quantize(
     float64 inputs - the rounding decision must not change); ``out_dtype``
     only selects the storage dtype of the (exact-integer) result, letting
     layers on the provably-exact float32 path skip a separate cast pass.
+
+    ``scale`` is a positive scalar or an array broadcastable against ``x``
+    (the per-row scale vectors of timestep-clustered quantizers when batch
+    rows sit in different step clusters, see :mod:`repro.quant.tdq`).
     """
-    if scale <= 0.0:
+    if isinstance(scale, np.ndarray):
+        if scale.size == 0 or np.any(scale <= 0.0):
+            raise ValueError("per-row scales must all be positive")
+    elif scale <= 0.0:
         raise ValueError(f"scale must be positive, got {scale}")
     qmin, qmax = qrange(bits)
     if not isinstance(x, np.ndarray):

@@ -43,12 +43,19 @@ __all__ = [
 _step_state = threading.local()
 
 
-def set_active_step(step_index: Optional[int]) -> None:
-    """Announce the current denoiser call index to clustered quantizers."""
+def set_active_step(step_index) -> None:
+    """Announce the current denoiser call index to clustered quantizers.
+
+    ``step_index`` is an ``int`` (the whole batch sits at one step - the
+    lockstep serving and instrumentation paths), ``None`` (no trajectory is
+    active), or an integer array of per-row step indices (a continuous
+    batching session whose rows each carry their own timestep, see
+    :class:`repro.core.session.EngineSession`).
+    """
     _step_state.value = step_index
 
 
-def active_step() -> Optional[int]:
+def active_step():
     return getattr(_step_state, "value", None)
 
 
@@ -128,10 +135,36 @@ class TimestepClusteredQuantizer(SymmetricQuantizer):
             raise RuntimeError("clustered quantizer used before calibration")
         return scale
 
-    def ensure_scale(self, x: np.ndarray) -> float:
+    def scales_for_rows(self, steps: np.ndarray, x: np.ndarray):
+        """Per-row scales for a batch whose rows sit at different steps.
+
+        ``steps`` holds one step index per *pipeline* row; when the layer
+        sees a stacked multiple of that batch (classifier-free guidance runs
+        ``[cond; uncond]``) the row scales tile accordingly.  Collapses to a
+        scalar when every row lands in the same cluster, which keeps lockstep
+        batches on the exact arithmetic (and fast path) they always used.
+        """
+        clusters = np.searchsorted(self._bounds, steps, side="right") - 1
+        batch = x.shape[0]
+        if batch != clusters.shape[0]:
+            if clusters.shape[0] == 0 or batch % clusters.shape[0]:
+                raise RuntimeError(
+                    f"per-row step vector of length {clusters.shape[0]} does "
+                    f"not tile the layer batch {batch}"
+                )
+            clusters = np.tile(clusters, batch // clusters.shape[0])
+        if np.all(clusters == clusters[0]):
+            return self.scale_for_step(int(steps.reshape(-1)[0]))
+        scales = np.asarray(self._cluster_scales, dtype=np.float64)[clusters]
+        return scales.reshape((batch,) + (1,) * (x.ndim - 1))
+
+    def ensure_scale(self, x: np.ndarray):
         step = active_step()
         if self.calibrated:
-            self.scale = self.scale_for_step(step)
+            if isinstance(step, np.ndarray):
+                self.scale = self.scales_for_rows(step, x)
+            else:
+                self.scale = self.scale_for_step(step)
             return self.scale
         # Uncalibrated fallback: behave like the sticky base quantizer.
         return super().ensure_scale(x)

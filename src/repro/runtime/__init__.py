@@ -22,11 +22,14 @@ from .hashing import (
 from .runner import SIMILARITY_MAX_STEPS, EngineRunner, normalize_batch_sizes
 from .serving import (
     ARRIVAL_PATTERNS,
+    SCHEDULERS,
     BatchSizeReport,
     Request,
     ServedRequest,
     ServingReport,
+    estimate_row_footprint,
     generate_requests,
+    pool_budget_row_cap,
     simulate_serving,
 )
 
@@ -38,6 +41,7 @@ __all__ = [
     "EngineRunner",
     "Request",
     "ResultCache",
+    "SCHEDULERS",
     "SIMILARITY_MAX_STEPS",
     "ServedRequest",
     "ServingReport",
@@ -45,8 +49,10 @@ __all__ = [
     "code_fingerprint",
     "default_cache_dir",
     "engine_key",
+    "estimate_row_footprint",
     "generate_requests",
     "normalize_batch_sizes",
+    "pool_budget_row_cap",
     "similarity_key",
     "simulate_serving",
     "spec_signature",

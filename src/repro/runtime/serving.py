@@ -16,14 +16,26 @@ simulates exactly that on top of :class:`~repro.core.engine.DittoEngine`:
   drives ``DittoEngine.run``; service times are *measured* wall-clock, so
   throughput and latency percentiles reflect the numpy substrate honestly.
 
+Two schedulers are provided:
+
+* ``fixed`` - the PR-3 micro-batcher: lockstep batches, the engine drains
+  between launches;
+* ``continuous`` - iteration-level (Orca-style) scheduling over a
+  persistent :class:`~repro.core.session.EngineSession`: rows are admitted
+  and evicted at *step boundaries*, each row carries its own timestep, and
+  the engine never drains while requests are queued.
+
 Stacking requests is only sound because of the per-batch-element
 temporal-state invariance contract: every quantized layer's cached
 ``_prev_*`` state differences along the batch axis, so a batch-N run is
 bit-exact with N independent batch-1 runs (pinned by
 ``tests/test_batched_state.py`` and optionally re-checked per serve via
-``verify_invariance``).  The per-batch-size MAC/BOPs savings come from one
-instrumented run per batch size; the timed runs skip instrumentation
-(``record_trace=False``) so stats scans do not pollute the latency numbers.
+``verify_invariance``).  Stochastic samplers (ddpm, ddim eta>0) join the
+contract through per-request ``SeedSequence.spawn`` noise streams
+(:meth:`Request.sampler_rng`).  The per-batch-size MAC/BOPs savings come
+from one instrumented run per batch size; the timed runs skip
+instrumentation (``record_trace=False``) so stats scans do not pollute the
+latency numbers.
 """
 
 from __future__ import annotations
@@ -39,15 +51,19 @@ from ..core.engine import DittoEngine
 
 __all__ = [
     "ARRIVAL_PATTERNS",
+    "SCHEDULERS",
     "Request",
     "ServedRequest",
     "BatchSizeReport",
     "ServingReport",
     "generate_requests",
     "simulate_serving",
+    "estimate_row_footprint",
+    "pool_budget_row_cap",
 ]
 
 ARRIVAL_PATTERNS = ("poisson", "uniform", "burst")
+SCHEDULERS = ("fixed", "continuous")
 
 
 @dataclass(frozen=True)
@@ -62,6 +78,21 @@ class Request:
         """The request's initial noise, independent of any batching."""
         rng = np.random.default_rng(self.seed)
         return rng.standard_normal((1,) + tuple(sample_shape))
+
+    def sampler_rng(self) -> np.random.Generator:
+        """The request's private sampler noise stream.
+
+        Built as the ``req_id``-th spawned child of
+        ``SeedSequence(trace_seed)`` (``SeedSequence(s).spawn(n)[i] ==
+        SeedSequence(s, spawn_key=(i,))``), so every call returns a fresh
+        generator positioned at the start of the *same* stream - the batched
+        replay and the batch-1 reference draw identical noise, which is what
+        extends the bit-exact serving contract to stochastic samplers.
+        """
+        root, idx = self.seed
+        return np.random.default_rng(
+            np.random.SeedSequence(root, spawn_key=(idx,))
+        )
 
 
 @dataclass(frozen=True)
@@ -81,7 +112,15 @@ class ServedRequest:
 
 @dataclass
 class BatchSizeReport:
-    """Queue replay results for one maximum micro-batch size."""
+    """Queue replay results for one maximum micro-batch size / capacity.
+
+    ``utilization`` is mean occupied rows over capacity: for the fixed
+    scheduler, mean launched-batch fill divided by the maximum batch size;
+    for the continuous scheduler, mean in-flight rows per engine step
+    divided by the session capacity.  ``num_batches`` counts engine launches
+    (micro-batches for fixed, denoiser steps for continuous), and
+    ``mean_service_s`` their mean measured wall-clock duration.
+    """
 
     batch_size: int
     num_requests: int
@@ -95,6 +134,7 @@ class BatchSizeReport:
     mean_service_s: float
     temporal_relative_bops: float
     mac_savings_pct: float
+    utilization: float = 0.0
     served: List[ServedRequest] = field(default_factory=list)
 
     def to_json(self) -> Dict[str, object]:
@@ -103,6 +143,7 @@ class BatchSizeReport:
             "num_requests": self.num_requests,
             "num_batches": self.num_batches,
             "mean_batch_fill": round(self.mean_batch_fill, 3),
+            "utilization": round(self.utilization, 4),
             "makespan_s": round(self.makespan_s, 4),
             "throughput_rps": round(self.throughput_rps, 3),
             "latency_p50_s": round(self.latency_p50_s, 4),
@@ -126,6 +167,10 @@ class ServingReport:
     num_requests: int
     guidance_scale: Optional[float]
     invariance_checked: bool
+    scheduler: str = "fixed"
+    sampler: Optional[str] = None
+    pool_budget_mb: Optional[float] = None
+    pool_row_cap: Optional[int] = None
     per_batch: Dict[int, BatchSizeReport] = field(default_factory=dict)
 
     def rows(self) -> List[List[object]]:
@@ -141,29 +186,53 @@ class ServingReport:
             for report in self.per_batch.values()
         ]
 
+    def utilization_lines(self) -> List[str]:
+        """The per-scheduler utilization section (mean occupied rows)."""
+        label = (
+            "capacity" if self.scheduler == "continuous" else "max batch"
+        )
+        lines = [f"utilization ({self.scheduler} scheduler, occupied rows / {label}):"]
+        for size, report in self.per_batch.items():
+            lines.append(
+                f"  {label} {size}: {100.0 * report.utilization:5.1f}% "
+                f"(mean {report.mean_batch_fill:.2f} rows over "
+                f"{report.num_batches} "
+                + ("steps)" if self.scheduler == "continuous" else "batches)")
+            )
+        return lines
+
     def summary(self) -> str:
         from ..analysis import format_table
 
         head = (
             f"{self.benchmark}: {self.num_requests} requests, "
             f"{self.pattern} arrivals @ {self.rate_rps:g} req/s, "
-            f"window {self.window_s * 1e3:g} ms, {self.num_steps} steps"
+            f"window {self.window_s * 1e3:g} ms, {self.num_steps} steps, "
+            f"{self.scheduler} scheduler"
+            + (f" [{self.sampler}]" if self.sampler else "")
             + (
                 f", CFG x{self.guidance_scale:g}"
                 if self.guidance_scale is not None
                 else ""
             )
         )
+        if self.pool_row_cap is not None:
+            head += (
+                f"\npool budget {self.pool_budget_mb:g} MB caps the batch at "
+                f"{self.pool_row_cap} row(s)"
+            )
         table = format_table(
             ["batch", "req/s", "p50 s", "p99 s", "fill", "MAC sav%"],
             self.rows(),
         )
-        tail = (
-            "batch-N == N x batch-1 verified bit-exact"
-            if self.invariance_checked
-            else ""
-        )
-        return "\n".join(part for part in (head, table, tail) if part)
+        util = "\n".join(self.utilization_lines())
+        if not self.invariance_checked:
+            tail = ""
+        elif self.scheduler == "continuous":
+            tail = "every request verified bit-exact against its batch-1 reference"
+        else:  # fixed verify covers one synthetic micro-batch, not the trace
+            tail = "batch-N == N x batch-1 verified bit-exact"
+        return "\n".join(part for part in (head, table, util, tail) if part)
 
     def to_json(self) -> Dict[str, object]:
         return {
@@ -175,6 +244,10 @@ class ServingReport:
             "num_requests": self.num_requests,
             "guidance_scale": self.guidance_scale,
             "invariance_checked": self.invariance_checked,
+            "scheduler": self.scheduler,
+            "sampler": self.sampler,
+            "pool_budget_mb": self.pool_budget_mb,
+            "pool_row_cap": self.pool_row_cap,
             "per_batch": {
                 str(size): report.to_json()
                 for size, report in self.per_batch.items()
@@ -225,17 +298,21 @@ def _drain_queue(
     noises: Sequence[np.ndarray],
     window_s: float,
     max_batch: int,
-) -> Tuple[List[ServedRequest], List[float], List[np.ndarray]]:
+) -> Tuple[List[ServedRequest], List[float]]:
     """Replay the request trace through greedy micro-batching.
 
     Arrival times live on a simulated clock; service times are measured
     wall-clock per ``DittoEngine.run`` call.  A batch opens when the server
     is free and a request is waiting, admits arrivals for up to ``window_s``
-    (closing early once full), then launches.
+    (closing early once full), then launches.  Every member draws sampler
+    noise from its private stream, so stochastic samplers stay bit-exact
+    with each request's batch-1 reference.  Samples are not retained - a
+    drain is a throughput measurement, and holding every batch's output
+    would grow memory with the trace length (verification re-generates
+    what it needs).
     """
     served: List[ServedRequest] = []
     service_times: List[float] = []
-    batch_samples: List[np.ndarray] = []
     free_at = 0.0
     i = 0
     n = len(requests)
@@ -260,11 +337,11 @@ def _drain_queue(
             # waits out the window.
             launch = deadline
         x_init = np.concatenate([noises[j] for j in members], axis=0)
+        rngs = [requests[j].sampler_rng() for j in members]
         t0 = time.perf_counter()
-        result = engine.run(x_init=x_init, record_trace=False)
+        engine.run(x_init=x_init, record_trace=False, rngs=rngs)
         service_s = time.perf_counter() - t0
         service_times.append(service_s)
-        batch_samples.append(result.samples)
         finish = launch + service_s
         free_at = finish
         for j in members:
@@ -277,7 +354,113 @@ def _drain_queue(
                     batch_fill=len(members),
                 )
             )
-    return served, service_times, batch_samples
+    return served, service_times
+
+
+def _drain_continuous(
+    engine: DittoEngine,
+    requests: Sequence[Request],
+    noises: Sequence[np.ndarray],
+    capacity: int,
+) -> Tuple[List[ServedRequest], List[float], List[int], Dict[int, np.ndarray]]:
+    """Replay the request trace through iteration-level scheduling.
+
+    A persistent :class:`~repro.core.session.EngineSession` advances one
+    denoiser step at a time; queued requests are admitted at every step
+    boundary (up to ``capacity``) and completed rows leave the batch the
+    step they finish.  There is no batching window: admission is continuous,
+    so a request waits at most one step, and the engine never drains while
+    work is queued.  Returns the completion records, per-step wall-clock
+    times, per-step occupancies, and each request's sample (for
+    verification).
+    """
+    served: List[ServedRequest] = []
+    step_times: List[float] = []
+    occupancies: List[int] = []
+    samples: Dict[int, np.ndarray] = {}
+    launch_at: Dict[int, float] = {}
+    now = 0.0
+    i = 0
+    n = len(requests)
+    with engine.open_session(capacity=capacity) as session:
+        while i < n or session.occupancy:
+            if not session.occupancy and i < n and requests[i].arrival_s > now:
+                now = requests[i].arrival_s  # idle server: jump to next arrival
+            while (
+                i < n
+                and requests[i].arrival_s <= now
+                and session.occupancy < capacity
+            ):
+                session.admit(
+                    noises[i], rng=requests[i].sampler_rng(), tag=i
+                )
+                launch_at[i] = now
+                i += 1
+            fill = session.occupancy
+            t0 = time.perf_counter()
+            finished = session.step()
+            dt = time.perf_counter() - t0
+            now += dt
+            step_times.append(dt)
+            occupancies.append(fill)
+            for tag, sample in finished:
+                req = requests[tag]
+                samples[tag] = sample
+                served.append(
+                    ServedRequest(
+                        req_id=req.req_id,
+                        arrival_s=req.arrival_s,
+                        launch_s=launch_at[tag],
+                        finish_s=now,
+                        batch_fill=fill,
+                    )
+                )
+    return served, step_times, occupancies, samples
+
+
+def estimate_row_footprint(engine: DittoEngine) -> int:
+    """Measured scratch + temporal-state bytes of one batch row.
+
+    Runs two probe forwards (the second exercises the temporal-difference
+    scratch paths) at batch 1 and tallies the thread's scratch pool plus
+    every layer's cached state and im2col buffers.  Both grow linearly with
+    the batch, so ``budget // row_bytes`` bounds the admissible batch size.
+    """
+    from ..quant.qlayers import model_state_nbytes, reset_model_state, set_model_mode
+    from ..core.modes import ExecutionMode
+    from ..scratch import clear_scratch, scratch_pool_bytes
+
+    engine._freeze_scales(1)
+    clear_scratch()
+    reset_model_state(engine.qmodel)
+    set_model_mode(engine.qmodel, ExecutionMode.TEMPORAL)
+    probe = engine._probe_fn(1)
+    probe()
+    probe()
+    total = scratch_pool_bytes() + model_state_nbytes(engine.qmodel)
+    reset_model_state(engine.qmodel)
+    clear_scratch()
+    return total
+
+
+def pool_budget_row_cap(engine: DittoEngine, budget_mb: float) -> int:
+    """Largest batch the scratch-pool budget admits; raises if below 1 row.
+
+    The graceful refusal the ROADMAP asked for: a budget smaller than a
+    single row's footprint cannot serve anything, so it fails loudly with
+    the measured requirement instead of thrashing.
+    """
+    if budget_mb <= 0:
+        raise ValueError(f"pool budget must be positive, got {budget_mb} MB")
+    row_bytes = estimate_row_footprint(engine)
+    cap = int(budget_mb * 2**20) // max(row_bytes, 1)
+    if cap < 1:
+        raise ValueError(
+            f"pool budget {budget_mb:g} MB is below one batch row's "
+            f"footprint (~{row_bytes / 2**20:.2f} MB); raise the budget or "
+            "shrink the model"
+        )
+    return cap
 
 
 def _mac_savings(engine: DittoEngine, batch_size: int, seed: int) -> Tuple[float, float]:
@@ -300,16 +483,29 @@ def simulate_serving(
     calibrate: bool = True,
     verify_invariance: bool = False,
     engine: Optional[DittoEngine] = None,
+    scheduler: str = "fixed",
+    pool_budget_mb: Optional[float] = None,
+    sampler: Optional[str] = None,
+    sampler_eta: Optional[float] = None,
 ) -> ServingReport:
     """Replay one request trace at every batch size and report the numbers.
 
     The engine is built once (quantization + calibration are
     batch-independent) and reused across batch sizes; every
     :meth:`~repro.core.engine.DittoEngine.run` resets the temporal state.
-    ``verify_invariance=True`` additionally re-runs every request of the
-    largest batch size's first multi-request micro-batch individually and
-    asserts bit-exact equality with its batched samples - the temporal-state
-    contract checked in production rather than only in tests.
+    ``scheduler="continuous"`` replaces the lockstep micro-batcher with
+    iteration-level scheduling (``batch_sizes`` then sweep the persistent
+    batch *capacity*).  ``pool_budget_mb`` caps every batch size at what the
+    scratch-pool memory budget admits.  ``sampler``/``sampler_eta`` override
+    the spec's sampler (e.g. stochastic ddpm).
+
+    ``verify_invariance=True`` re-runs requests individually and demands
+    bit-exact agreement with the batched replay - the temporal-state
+    contract checked in production rather than only in tests.  For the fixed
+    scheduler that covers one micro-batch of the largest size; for the
+    continuous scheduler *every* request of the largest-capacity replay
+    (arbitrary admission/eviction interleavings included) is checked
+    against its seeded batch-1 reference.
     """
     if isinstance(spec_or_name, str):
         from ..workloads import get_benchmark
@@ -319,6 +515,17 @@ def simulate_serving(
         spec = spec_or_name
     from .runner import normalize_batch_sizes
 
+    if scheduler not in SCHEDULERS:
+        raise ValueError(
+            f"unknown scheduler {scheduler!r}; choose from {SCHEDULERS}"
+        )
+    if engine is not None and (sampler is not None or sampler_eta is not None):
+        # A prebuilt engine already owns its sampler; silently recording an
+        # override that never took effect would falsify the report metadata.
+        raise ValueError(
+            "sampler/sampler_eta overrides conflict with a prebuilt engine; "
+            "build the engine with the desired sampler instead"
+        )
     sizes = normalize_batch_sizes(batch_sizes)
     steps = num_steps if num_steps is not None else spec.num_steps
     if engine is None:
@@ -327,7 +534,13 @@ def simulate_serving(
             num_steps=steps,
             calibrate=calibrate,
             guidance_scale=guidance_scale,
+            sampler=sampler,
+            sampler_eta=sampler_eta,
         )
+    pool_row_cap = None
+    if pool_budget_mb is not None:
+        pool_row_cap = pool_budget_row_cap(engine, pool_budget_mb)
+        sizes = normalize_batch_sizes(min(s, pool_row_cap) for s in sizes)
     requests = generate_requests(num_requests, rate_rps, pattern, seed)
     noises = [req.draw_noise(spec.sample_shape) for req in requests]
 
@@ -344,11 +557,32 @@ def simulate_serving(
             else getattr(spec, "guidance_scale", None)
         ),
         invariance_checked=False,
+        scheduler=scheduler,
+        sampler=sampler,
+        pool_budget_mb=pool_budget_mb,
+        pool_row_cap=pool_row_cap,
     )
+    continuous_samples: Dict[int, np.ndarray] = {}
     for size in sizes:
-        served, service_times, batch_samples = _drain_queue(
-            engine, requests, noises, window_s, size
-        )
+        # One batch size's scratch working set at a time: the pools key
+        # buffers by shape and never evict, so sweeping sizes 1..8 in one
+        # thread would otherwise hold the union of all their buffer sets.
+        from ..core.bitwidth import clear_classification_pool
+        from ..scratch import clear_scratch
+
+        clear_scratch()
+        clear_classification_pool()
+        if scheduler == "continuous":
+            served, service_times, occupancies, samples = _drain_continuous(
+                engine, requests, noises, size
+            )
+            continuous_samples = samples  # the largest size's replay wins
+            mean_fill = float(np.mean(occupancies))
+        else:
+            served, service_times = _drain_queue(
+                engine, requests, noises, window_s, size
+            )
+            mean_fill = float(len(served) / len(service_times))
         latencies = np.array([s.latency_s for s in served])
         first_arrival = min(req.arrival_s for req in requests)
         makespan = max(s.finish_s for s in served) - first_arrival
@@ -356,11 +590,12 @@ def simulate_serving(
         report.per_batch[size] = BatchSizeReport(
             batch_size=size,
             num_requests=len(served),
+            # Engine launches: micro-batches (fixed) or denoiser steps
+            # (continuous).  For fixed, fill averages per *launched batch* -
+            # averaging per-request fills would weight full batches by their
+            # own size and overstate occupancy.
             num_batches=len(service_times),
-            # Mean requests per *launched micro-batch* - averaging the
-            # per-request fill values instead would weight full batches by
-            # their own size and overstate occupancy.
-            mean_batch_fill=float(len(served) / len(service_times)),
+            mean_batch_fill=mean_fill,
             makespan_s=float(makespan),
             throughput_rps=float(len(served) / makespan) if makespan > 0 else float("inf"),
             latency_p50_s=float(np.percentile(latencies, 50)),
@@ -369,28 +604,80 @@ def simulate_serving(
             mean_service_s=float(np.mean(service_times)),
             temporal_relative_bops=rel_bops,
             mac_savings_pct=savings,
+            utilization=mean_fill / size,
             served=served,
         )
     if verify_invariance:
-        # Stack the first requests into one micro-batch of the largest
-        # configured size, re-run them one at a time, and demand bit-exact
-        # agreement.  Built independently of what the drains happened to
-        # form, so --verify can never silently verify nothing.
-        fill = min(sizes[-1], num_requests)
-        if fill < 2:
-            raise ValueError(
-                "verify_invariance needs a multi-request batch: got "
-                f"max batch size {sizes[-1]} and {num_requests} request(s)"
+        if scheduler == "continuous":
+            _verify_continuous(
+                spec.name, engine, requests, noises, continuous_samples
             )
-        members = list(range(fill))
-        x_init = np.concatenate([noises[j] for j in members], axis=0)
-        batched = engine.run(x_init=x_init, record_trace=False).samples
-        for pos, j in enumerate(members):
-            single = engine.run(x_init=noises[j], record_trace=False).samples
-            if not np.array_equal(batched[pos : pos + 1], single):
-                raise AssertionError(
-                    f"batch invariance violated for request {j} in "
-                    f"batch {members} of {spec.name}"
-                )
+        else:
+            _verify_fixed(spec.name, engine, requests, noises, sizes)
         report.invariance_checked = True
     return report
+
+
+def _verify_fixed(
+    name: str,
+    engine: DittoEngine,
+    requests: Sequence[Request],
+    noises: Sequence[np.ndarray],
+    sizes: Sequence[int],
+) -> None:
+    """Stack the first requests into one micro-batch of the largest
+    configured size, re-run them one at a time, and demand bit-exact
+    agreement.  Built independently of what the drains happened to form, so
+    --verify can never silently verify nothing."""
+    fill = min(sizes[-1], len(requests))
+    if fill < 2:
+        raise ValueError(
+            "verify_invariance needs a multi-request batch: got "
+            f"max batch size {sizes[-1]} and {len(requests)} request(s)"
+        )
+    members = list(range(fill))
+    x_init = np.concatenate([noises[j] for j in members], axis=0)
+    batched = engine.run(
+        x_init=x_init,
+        record_trace=False,
+        rngs=[requests[j].sampler_rng() for j in members],
+    ).samples
+    for pos, j in enumerate(members):
+        single = engine.run(
+            x_init=noises[j],
+            record_trace=False,
+            rngs=[requests[j].sampler_rng()],
+        ).samples
+        if not np.array_equal(batched[pos : pos + 1], single):
+            raise AssertionError(
+                f"batch invariance violated for request {j} in "
+                f"batch {members} of {name}"
+            )
+
+
+def _verify_continuous(
+    name: str,
+    engine: DittoEngine,
+    requests: Sequence[Request],
+    noises: Sequence[np.ndarray],
+    samples: Dict[int, np.ndarray],
+) -> None:
+    """Every request of the continuous replay - whatever interleaving of
+    admissions and evictions the queue produced - must match its seeded
+    batch-1 reference bit-exactly."""
+    if len(samples) != len(requests):
+        missing = sorted(set(range(len(requests))) - set(samples))
+        raise AssertionError(
+            f"continuous replay of {name} lost requests {missing}"
+        )
+    for j, req in enumerate(requests):
+        reference = engine.run(
+            x_init=noises[j],
+            record_trace=False,
+            rngs=[req.sampler_rng()],
+        ).samples
+        if not np.array_equal(samples[j], reference):
+            raise AssertionError(
+                f"continuous-batching invariance violated for request "
+                f"{req.req_id} of {name}"
+            )

@@ -21,7 +21,7 @@ from typing import Dict, Tuple
 
 import numpy as np
 
-__all__ = ["scratch_buffer", "clear_scratch"]
+__all__ = ["scratch_buffer", "clear_scratch", "scratch_pool_bytes"]
 
 _SCRATCH = threading.local()
 
@@ -37,6 +37,19 @@ def clear_scratch() -> None:
     buffers = getattr(_SCRATCH, "buffers", None)
     if buffers is not None:
         buffers.clear()
+
+
+def scratch_pool_bytes() -> int:
+    """Total bytes currently held by this thread's pooled buffers.
+
+    The serving runtime uses this (together with per-layer state bytes) to
+    measure one batch row's scratch footprint and derive the batch-size cap
+    implied by a ``--pool-budget-mb`` memory budget.
+    """
+    buffers = getattr(_SCRATCH, "buffers", None)
+    if not buffers:
+        return 0
+    return sum(buf.nbytes for buf in buffers.values())
 
 
 def scratch_buffer(tag: str, shape: Tuple[int, ...], dtype) -> np.ndarray:

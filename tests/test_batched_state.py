@@ -7,6 +7,16 @@ seeded per element: every quantized layer's cached temporal state
 quantizer scale freezes batch-independently (the engine's probe tiles one
 sample).  These tests pin that contract for a conv-only benchmark, a
 CFG/attention benchmark, and a TDQ cluster-boundary crossing at batch > 1.
+
+The contract extends along two axes pinned below:
+
+* **stochastic samplers** - per-element ``SeedSequence.spawn`` noise
+  streams (``engine.run(rngs=...)``) make ddpm / ddim-eta>0 batch runs
+  bit-exact with their per-stream batch-1 references;
+* **continuous batching** - an :class:`~repro.core.session.EngineSession`
+  admits/evicts rows at step boundaries, each row at its own timestep (and
+  its own TDQ cluster scale); any interleaving is bit-exact with N seeded
+  batch-1 runs.
 """
 
 import numpy as np
@@ -15,6 +25,11 @@ import pytest
 from repro.core import DittoEngine
 from repro.models import UNet, build_text_encoder
 from repro.quant.qlayers import QAttention, iter_qlayers
+
+
+def _stream(i, root=77):
+    """The i-th spawned child stream of SeedSequence(root), fresh each call."""
+    return np.random.default_rng(np.random.SeedSequence(root, spawn_key=(i,)))
 
 
 def _unet(block_type, context_dim=None, seed=3, attention_levels=(1,)):
@@ -170,6 +185,284 @@ def test_run_x_init_matches_seeded_run():
     x0 = np.random.default_rng(21).standard_normal((2,) + engine.pipeline.sample_shape)
     explicit = engine.run(x_init=x0).samples
     np.testing.assert_array_equal(seeded, explicit)
+
+
+def _batch_vs_singles_streams(engine, batch, seed=3):
+    """Batch-N with per-element rng streams vs N per-stream batch-1 runs."""
+    shape = (batch,) + engine.pipeline.sample_shape
+    x0 = np.random.default_rng(seed).standard_normal(shape)
+    batched = engine.run(
+        x_init=x0, record_trace=False, rngs=[_stream(i) for i in range(batch)]
+    ).samples
+    singles = np.concatenate(
+        [
+            engine.run(
+                x_init=x0[i : i + 1], record_trace=False, rngs=[_stream(i)]
+            ).samples
+            for i in range(batch)
+        ],
+        axis=0,
+    )
+    return batched, singles
+
+
+def _ddpm_engine(num_steps=5):
+    return DittoEngine.from_model(
+        _unet("none", attention_levels=()),
+        sampler_name="ddpm",
+        num_steps=num_steps,
+        sample_shape=(2, 8, 8),
+        num_train_steps=100,
+        calibrate=False,
+        benchmark="tiny-ddpm",
+    )
+
+
+def test_ddpm_stochastic_batch_invariance():
+    """DDPM ancestral sampling at batch 3: per-element noise streams make the
+    batched run bit-exact with each request's batch-1 replay."""
+    engine = _ddpm_engine()
+    batched, singles = _batch_vs_singles_streams(engine, batch=3)
+    np.testing.assert_array_equal(batched, singles)
+    assert not np.allclose(batched[0], batched[1])  # streams independent
+
+
+def test_ddim_eta_stochastic_batch_invariance():
+    """Stochastic DDIM (eta > 0) at batch 2 and 4 under per-element streams."""
+    engine = DittoEngine.from_model(
+        _unet("none", attention_levels=()),
+        sampler_name="ddim",
+        num_steps=4,
+        sample_shape=(2, 8, 8),
+        num_train_steps=100,
+        calibrate=False,
+        benchmark="tiny-eta",
+        sampler_eta=0.7,
+    )
+    assert engine.pipeline.sampler.eta == 0.7
+    for batch in (2, 4):
+        batched, singles = _batch_vs_singles_streams(engine, batch, seed=batch)
+        np.testing.assert_array_equal(batched, singles)
+
+
+def test_stochastic_shared_stream_would_differ():
+    """Sanity of the fixture: without per-element streams the old shared-rng
+    batch draw does NOT reproduce the per-stream singles - the gap the
+    SeedSequence.spawn streams close."""
+    engine = _ddpm_engine()
+    x0 = np.random.default_rng(3).standard_normal(
+        (2,) + engine.pipeline.sample_shape
+    )
+    shared = engine.run(x_init=x0, record_trace=False, seed=0).samples
+    singles = np.concatenate(
+        [
+            engine.run(
+                x_init=x0[i : i + 1], record_trace=False, rngs=[_stream(i)]
+            ).samples
+            for i in range(2)
+        ],
+        axis=0,
+    )
+    assert not np.array_equal(shared, singles)
+
+
+def test_run_rngs_validation():
+    engine = _ddpm_engine(num_steps=3)
+    with pytest.raises(ValueError, match="one stream per element"):
+        engine.run(batch_size=2, rngs=[_stream(0)])
+
+
+# -- continuous batching (EngineSession) ------------------------------------
+
+def test_continuous_session_tdq_boundary_crossing():
+    """Admissions/evictions across a TDQ cluster boundary: rows sit in
+    *different* clusters within one batch (per-row scales), each crosses the
+    boundary at its own step, and every completed row is bit-exact with its
+    seeded batch-1 reference."""
+    engine = _conv_engine(calibrate=True, step_clusters=3, num_steps=6)
+    noises = [
+        np.random.default_rng(40 + i).standard_normal(
+            (1,) + engine.pipeline.sample_shape
+        )
+        for i in range(4)
+    ]
+    out = {}
+    with engine.open_session(capacity=3) as session:
+        session.admit(noises[0], tag=0)
+        for _ in range(3):  # row 0 crosses the first boundary alone
+            for tag, sample in session.step():
+                out[tag] = sample
+        session.admit(noises[1], tag=1)
+        session.admit(noises[2], tag=2)
+        for _ in range(3):  # row 0 finishes and frees its slot
+            for tag, sample in session.step():
+                out[tag] = sample
+        assert sorted(out) == [0]
+        session.admit(noises[3], tag=3)  # backfills row 0's slot mid-flight
+        for tag, sample in session.run_to_completion().items():
+            out[tag] = sample
+    assert sorted(out) == [0, 1, 2, 3]
+    for i in range(4):
+        reference = engine.run(x_init=noises[i], record_trace=False).samples
+        np.testing.assert_array_equal(out[i], reference)
+
+
+def test_continuous_session_stochastic_and_eviction():
+    """DDPM rows admitted mid-flight with private streams; one row evicted
+    (cancelled) mid-trajectory must not perturb the survivors."""
+    engine = _ddpm_engine()
+    noises = [
+        np.random.default_rng(60 + i).standard_normal(
+            (1,) + engine.pipeline.sample_shape
+        )
+        for i in range(4)
+    ]
+    out = {}
+    with engine.open_session() as session:
+        session.admit(noises[0], rng=_stream(0), tag=0)
+        session.admit(noises[3], rng=_stream(3), tag=3)
+        for tag, sample in session.step():
+            out[tag] = sample
+        session.admit(noises[1], rng=_stream(1), tag=1)
+        session.evict(3)  # cancel mid-flight
+        for tag, sample in session.step():
+            out[tag] = sample
+        session.admit(noises[2], rng=_stream(2), tag=2)
+        out.update(session.run_to_completion())
+    assert sorted(out) == [0, 1, 2]
+    for i in range(3):
+        reference = engine.run(
+            x_init=noises[i], record_trace=False, rngs=[_stream(i)]
+        ).samples
+        np.testing.assert_array_equal(out[i], reference)
+
+
+def test_continuous_session_cfg_attention():
+    """CFG cross-attention under composition changes: the stacked
+    [cond; uncond] state remaps per block and K'/V' caching stays sound."""
+    engine = _cfg_engine()
+    noises = [
+        np.random.default_rng(80 + i).standard_normal(
+            (1,) + engine.pipeline.sample_shape
+        )
+        for i in range(3)
+    ]
+    out = {}
+    with engine.open_session(capacity=2) as session:
+        session.admit(noises[0], tag=0)
+        for tag, sample in session.step():
+            out[tag] = sample
+        session.admit(noises[1], tag=1)
+        for tag, sample in session.step():
+            out[tag] = sample
+        out.update(session.run_to_completion())
+        session.admit(noises[2], tag=2)
+        out.update(session.run_to_completion())
+    assert sorted(out) == [0, 1, 2]
+    for i in range(3):
+        reference = engine.run(x_init=noises[i], record_trace=False).samples
+        np.testing.assert_array_equal(out[i], reference)
+
+
+def test_session_rejects_multistep_samplers():
+    engine = DittoEngine.from_model(
+        _unet("none", attention_levels=()),
+        sampler_name="plms",
+        num_steps=3,
+        sample_shape=(2, 8, 8),
+        num_train_steps=100,
+        calibrate=False,
+        benchmark="tiny-plms-session",
+    )
+    with pytest.raises(ValueError, match="row-steppable"):
+        engine.open_session()
+
+
+def test_session_admit_requires_stream_for_stochastic_sampler():
+    """Stochastic samplers validate the stream at admission - a missing
+    stream failing mid-step would desynchronize other rows' draws."""
+    engine = _ddpm_engine()
+    shape = (1,) + engine.pipeline.sample_shape
+    with engine.open_session() as session:
+        with pytest.raises(ValueError, match="rng stream"):
+            session.admit(np.zeros(shape))
+        session.admit(np.zeros(shape), rng=_stream(0))  # with stream: fine
+
+
+def test_session_step_retry_after_failure_keeps_rows_exact():
+    """A step that fails mid-flight (here: a transient forward error right
+    after a composition change) must be recoverable: the retried step may
+    not re-apply the already-applied remap and hand surviving rows another
+    row's temporal state (the mapping is committed with the state, not
+    after the forward)."""
+    engine = _ddpm_engine()
+    noises = [
+        np.random.default_rng(90 + i).standard_normal(
+            (1,) + engine.pipeline.sample_shape
+        )
+        for i in range(3)
+    ]
+    out = {}
+    with engine.open_session() as session:
+        session.admit(noises[0], rng=_stream(0), tag=0)
+        session.admit(noises[1], rng=_stream(1), tag=1)
+        for tag, sample in session.step():
+            out[tag] = sample
+        session.evict(1)  # composition change pending for the next step
+        session.admit(noises[2], rng=_stream(2), tag=2)
+        real_predict = engine.pipeline.predict_noise_rows
+
+        def flaky_predict(x, t_rows):
+            engine.pipeline.predict_noise_rows = real_predict
+            raise RuntimeError("transient")
+
+        engine.pipeline.predict_noise_rows = flaky_predict
+        with pytest.raises(RuntimeError, match="transient"):
+            session.step()  # remap already applied when the forward died
+        out.update(session.run_to_completion())  # retry
+    for i in (0, 2):
+        reference = engine.run(
+            x_init=noises[i], record_trace=False, rngs=[_stream(i)]
+        ).samples
+        np.testing.assert_array_equal(out[i], reference)
+
+
+def test_conv_state_nbytes_dedupes_aliased_cols():
+    """_prev_cols aliases one of the im2col ping-pong buffers after a
+    forward; the measured footprint must count that memory once (the pool
+    budget cap derives from it)."""
+    engine = _conv_engine(calibrate=False, num_steps=2)
+    engine.run(batch_size=1, seed=0, record_trace=False)
+    from repro.quant.qlayers import QConv2d
+
+    convs = [
+        q for _, q in iter_qlayers(engine.qmodel) if isinstance(q, QConv2d)
+    ]
+    assert convs
+    for conv in convs:
+        assert conv._prev_cols is not None
+        assert any(buf is conv._prev_cols for buf in conv._cols_bufs)
+        unique = {
+            id(a): a.nbytes
+            for a in (
+                conv._prev_q_in, conv._prev_out_int,
+                conv._prev_cols, *conv._cols_bufs,
+            )
+            if a is not None
+        }
+        assert conv.state_nbytes() == sum(unique.values())
+
+
+def test_session_capacity_and_tags():
+    engine = _conv_engine(calibrate=False, num_steps=3)
+    shape = (1,) + engine.pipeline.sample_shape
+    with engine.open_session(capacity=1) as session:
+        session.admit(np.zeros(shape), tag="a")
+        with pytest.raises(RuntimeError, match="at capacity"):
+            session.admit(np.ones(shape), tag="b")
+        with pytest.raises(KeyError):
+            session.evict("missing")
+        assert session.tags == ["a"]
 
 
 def test_run_without_trace_matches_instrumented():

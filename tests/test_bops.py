@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import ExecutionMode, per_step_relative_bops, relative_bops
 from repro.core.bitwidth import BitWidthStats
-from repro.core.bops import bops_per_mac, dense_bops_reference, layer_bops, trace_bops
+from repro.core.bops import bops_per_mac, dense_bops_reference, layer_bops
 from repro.core.trace import Trace
 
 from helpers import make_rich

@@ -1,0 +1,158 @@
+"""Tests for the CI perf-regression gate (``scripts/check_bench.py``).
+
+The gate must fail (exit 1) on a synthetic slowdown beyond the tolerance
+and pass (exit 0) on equal or faster records - the property the perf-smoke
+CI job relies on.  The script is run through ``main(argv)`` via import, so
+these tests exercise exactly what CI executes.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parents[1] / "scripts" / "check_bench.py"
+
+
+@pytest.fixture(scope="module")
+def check_bench():
+    spec = importlib.util.spec_from_file_location("check_bench", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _record(cold_total=1.0, cold_build=0.4, cold_run=0.6, warm=0.001,
+            speed=None):
+    return {
+        "schema": 2,
+        "host": {} if speed is None else {"speed_index_s": speed},
+        "benchmarks": {
+            "DDPM": {
+                "by_batch_size": {
+                    "1": {
+                        "cold_build_s": cold_build,
+                        "cold_run_s": cold_run,
+                        "cold_total_s": cold_total,
+                        "warm_load_s": warm,
+                    }
+                }
+            }
+        },
+    }
+
+
+def _write(tmp_path, name, record):
+    path = tmp_path / name
+    path.write_text(json.dumps(record))
+    return str(path)
+
+
+def test_gate_passes_on_identical_records(tmp_path, check_bench, capsys):
+    base = _write(tmp_path, "base.json", _record())
+    fresh = _write(tmp_path, "fresh.json", _record())
+    assert check_bench.main([fresh, "--baseline", base]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_gate_fails_on_synthetic_slowdown(tmp_path, check_bench, capsys):
+    base = _write(tmp_path, "base.json", _record())
+    slow = _write(
+        tmp_path, "slow.json",
+        _record(cold_total=1.6, cold_build=0.64, cold_run=0.96),
+    )
+    assert check_bench.main([slow, "--baseline", base, "--tol", "0.25"]) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSED" in out
+    assert "FAIL" in out
+
+
+def test_gate_tolerance_env_override(tmp_path, check_bench, monkeypatch):
+    base = _write(tmp_path, "base.json", _record())
+    slow = _write(
+        tmp_path, "slow.json",
+        _record(cold_total=1.6, cold_build=0.64, cold_run=0.96),
+    )
+    monkeypatch.setenv("REPRO_BENCH_TOL", "1.0")
+    assert check_bench.main([slow, "--baseline", base]) == 0
+    # Explicit --tol wins over the environment.
+    assert check_bench.main([slow, "--baseline", base, "--tol", "0.1"]) == 1
+
+
+def test_gate_ignores_sub_min_delta_jitter(tmp_path, check_bench):
+    # The warm cache load is sub-millisecond: a 3x blip is absolute noise
+    # and must not trip the relative gate.
+    base = _write(tmp_path, "base.json", _record(warm=0.0004))
+    fresh = _write(tmp_path, "fresh.json", _record(warm=0.0012))
+    assert check_bench.main([fresh, "--baseline", base]) == 0
+    # ...unless the caller insists on a zero absolute slack.
+    assert (
+        check_bench.main([fresh, "--baseline", base, "--min-delta", "0"]) == 1
+    )
+
+
+def test_gate_speedups_and_new_entries_pass(tmp_path, check_bench, capsys):
+    base = _write(tmp_path, "base.json", _record())
+    fresh_record = _record(cold_total=0.5, cold_build=0.2, cold_run=0.3)
+    fresh_record["benchmarks"]["SDM"] = {
+        "by_batch_size": {"4": {"cold_total_s": 9.9}}
+    }
+    fresh = _write(tmp_path, "fresh.json", fresh_record)
+    assert check_bench.main([fresh, "--baseline", base]) == 0
+
+
+def test_gate_warns_on_missing_entries(tmp_path, check_bench, capsys):
+    base = _write(tmp_path, "base.json", _record())
+    fresh_record = _record()
+    del fresh_record["benchmarks"]["DDPM"]["by_batch_size"]["1"]["warm_load_s"]
+    fresh = _write(tmp_path, "fresh.json", fresh_record)
+    assert check_bench.main([fresh, "--baseline", base]) == 0
+    assert "missing from fresh record" in capsys.readouterr().out
+
+
+def test_gate_normalizes_by_host_speed_index(tmp_path, check_bench, capsys):
+    """A 2x slower machine measuring 2x timings is NOT a regression once
+    both records carry the host speed probe - and a genuine slowdown still
+    fails after normalization."""
+    base = _write(tmp_path, "base.json", _record(speed=0.03))
+    slow_host = _write(
+        tmp_path, "slow_host.json",
+        _record(cold_total=2.0, cold_build=0.8, cold_run=1.2, speed=0.06),
+    )
+    assert check_bench.main([slow_host, "--baseline", base]) == 0
+    assert "host speed ratio 2.000" in capsys.readouterr().out
+    # Raw comparison (opt-out) still sees the 2x wall clock.
+    assert (
+        check_bench.main([slow_host, "--baseline", base, "--no-normalize"])
+        == 1
+    )
+    # A real 2x regression on an identical-speed host keeps failing.
+    real_slow = _write(
+        tmp_path, "real_slow.json",
+        _record(cold_total=2.0, cold_build=0.8, cold_run=1.2, speed=0.03),
+    )
+    assert check_bench.main([real_slow, "--baseline", base]) == 1
+
+
+def test_gate_falls_back_to_raw_without_speed_probe(tmp_path, check_bench, capsys):
+    base = _write(tmp_path, "base.json", _record(speed=0.03))
+    fresh = _write(tmp_path, "fresh.json", _record())  # no probe
+    assert check_bench.main([fresh, "--baseline", base]) == 0
+    assert "raw wall clock" in capsys.readouterr().out
+
+
+def test_gate_errors_on_unreadable_records(tmp_path, check_bench):
+    fresh = _write(tmp_path, "fresh.json", _record())
+    assert check_bench.main([fresh, "--baseline", "/nonexistent.json"]) == 2
+    empty = tmp_path / "empty.json"
+    empty.write_text("{}")
+    assert check_bench.main([str(empty), "--baseline", str(empty)]) == 2
+
+
+def test_gate_against_committed_baseline(check_bench, capsys):
+    """The committed BENCH_PR3.json compared to itself passes - the shape the
+    perf-smoke job consumes is exactly what `repro bench` wrote."""
+    baseline = str(Path(__file__).resolve().parents[1] / "BENCH_PR3.json")
+    assert check_bench.main([baseline, "--baseline", baseline]) == 0
+    assert "OK" in capsys.readouterr().out

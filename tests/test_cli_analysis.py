@@ -1,6 +1,5 @@
 """Tests for the analysis helpers and the command-line interface."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import BenchmarkStudy, format_table, run_study

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import DittoEngine, ExecutionMode
+from repro.core import DittoEngine
 from repro.workloads import get_benchmark
 
 from helpers import make_tiny_engine

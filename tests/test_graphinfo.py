@@ -5,7 +5,7 @@ import numpy as np
 from repro.core import analyze_model
 from repro.models import build_dit
 from repro.models.blocks import ResNetBlock
-from repro.nn import Conv2d, GELU, Linear, Module, SiLU
+from repro.nn import GELU, Linear, Module, SiLU
 from repro.quant import iter_qlayers, quantize_model
 
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core import ExecutionMode, derive_layer_step
-from repro.core.bitwidth import BitWidthStats
 from repro.hw import (
     DBDS_CONFIG,
     DB_CONFIG,

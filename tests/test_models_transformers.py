@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.models import DiT, DiTBlock, Latte, ToyTextEncoder, ToyVAE
+from repro.models import DiT, DiTBlock, Latte, ToyTextEncoder
 from repro.models.zoo import build_dit, build_latte, build_text_encoder, build_vae
 
 

@@ -1,7 +1,6 @@
 """Unit tests for the float layer modules."""
 
 import numpy as np
-import pytest
 
 from repro.nn import (
     AvgPool2d,

@@ -1,7 +1,6 @@
 """Tests for per-output-channel weight quantization (Q-Diffusion style)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -7,7 +7,6 @@ from repro.core import (
     ActivationCapture,
     cosine,
     similarity_report,
-    spatial_similarity,
     temporal_similarity,
     value_ranges,
 )

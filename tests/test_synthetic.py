@@ -1,6 +1,5 @@
 """Unit tests for the similarity-drift transform (Fig. 19 support)."""
 
-import numpy as np
 import pytest
 
 from repro.core.bitwidth import BitWidthStats

@@ -117,7 +117,7 @@ def test_qlinear_dense_fallback_at_cluster_boundary(rng):
 
 
 def test_clustered_calibration_collects_per_cluster(rng):
-    from repro.nn import Conv2d, Module, SiLU
+    from repro.nn import Conv2d, Module
 
     class Net(Module):
         def __init__(self):

@@ -8,7 +8,6 @@ from repro.workloads import (
     DATASETS,
     SUITE,
     benchmark_names,
-    get_benchmark,
     sample_prompts,
     synthetic_images,
     synthetic_video,
