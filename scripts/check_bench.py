@@ -2,32 +2,39 @@
 """CI perf-regression gate: compare a fresh bench record to the baseline.
 
 ``repro bench`` writes machine-readable cold/warm timings per benchmark and
-batch size (schema 2, see ``repro.bench``).  This script compares a freshly
-measured record against the committed baseline (``BENCH_PR3.json``) and
+batch size (schema 3, see ``repro.bench``).  This script compares a freshly
+measured record against the committed baseline (``BENCH_PR5.json``) and
 exits non-zero when any timing regressed beyond the tolerance - turning the
 perf-smoke job from an artifact uploader into an actual gate.
 
 Usage::
 
-    python scripts/check_bench.py FRESH.json [--baseline BENCH_PR3.json]
+    python scripts/check_bench.py FRESH.json [--baseline BENCH_PR5.json]
         [--tol 0.25]
+
+The gate is *per phase*, not just per total: ``cold_build_s`` and
+``cold_run_s`` are compared independently (both are medians across bench
+repeats since schema 3), and every bucket of the ``phases`` breakdown
+(build: calibration / trajectory / quantize / norm / im2col; run: norm /
+im2col) is gated on its own - so a large build-phase win can never mask a
+run-phase regression inside a healthy-looking total.
 
 A fresh timing ``t`` fails against baseline ``b`` when ``t > b * (1 + tol)``
 *and* ``t - b > min_delta``.  The default tolerance is 25% (CI-runner noise
 on sub-second timings is real); override with ``--tol`` or the
 ``REPRO_BENCH_TOL`` environment variable (``--tol`` wins).  ``min_delta``
 (default 50 ms, ``--min-delta`` / ``REPRO_BENCH_MIN_DELTA``) keeps
-micro-timings like the sub-millisecond warm cache load from tripping the
-relative gate on scheduler jitter.  Speedups and new benchmarks/batch sizes
-never fail; disappeared entries are reported but only warn (the gate guards
-regressions, not coverage).
+micro-timings - the sub-millisecond warm cache load, the small per-phase
+buckets - from tripping the relative gate on scheduler jitter.  Speedups
+and new benchmarks/batch sizes/phases never fail; disappeared entries are
+reported but only warn (the gate guards regressions, not coverage).
 
 When both records carry the host speed probe (``host.speed_index_s``,
 recorded by ``repro bench`` since schema 2 of PR 4), timings are
-*normalized* by it before comparison: a hosted CI runner that is 2x slower
-than the machine that recorded the baseline also measures a ~2x speed
-index, so the gate compares machine-relative work, not raw wall clock.
-``--no-normalize`` forces the raw comparison.
+*normalized* by it before comparison - every phase included: a hosted CI
+runner that is 2x slower than the machine that recorded the baseline also
+measures a ~2x speed index, so the gate compares machine-relative work,
+not raw wall clock.  ``--no-normalize`` forces the raw comparison.
 """
 
 from __future__ import annotations
@@ -43,13 +50,23 @@ GATED_METRICS = ("cold_build_s", "cold_run_s", "cold_total_s", "warm_load_s")
 
 
 def iter_timings(record):
-    """Yield ``(benchmark, batch_size, metric, value)`` from a bench record."""
+    """Yield ``(benchmark, batch_size, metric, value)`` from a bench record.
+
+    Metrics cover the headline cold/warm timings plus one
+    ``<section>.<bucket>`` entry per phase bucket (e.g.
+    ``build.calibration``, ``run.norm``) for schema-3 records; older
+    records without a ``phases`` dict simply yield fewer metrics.
+    """
     for bench, rec in record.get("benchmarks", {}).items():
         for size, sized in rec.get("by_batch_size", {}).items():
             for metric in GATED_METRICS:
                 value = sized.get(metric)
                 if value is not None:
                     yield bench, size, metric, float(value)
+            for section, buckets in (sized.get("phases") or {}).items():
+                for bucket, value in (buckets or {}).items():
+                    if value is not None:
+                        yield bench, size, f"{section}.{bucket}", float(value)
 
 
 def speed_scale(baseline: dict, fresh: dict):
@@ -103,8 +120,8 @@ def main(argv=None) -> int:
     )
     parser.add_argument("fresh", help="freshly measured bench JSON")
     parser.add_argument(
-        "--baseline", default="BENCH_PR3.json",
-        help="committed baseline record (default: BENCH_PR3.json)",
+        "--baseline", default="BENCH_PR5.json",
+        help="committed baseline record (default: BENCH_PR5.json)",
     )
     parser.add_argument(
         "--tol", type=float, default=None, metavar="FRACTION",

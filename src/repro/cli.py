@@ -202,7 +202,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_p.add_argument(
         "--out", default=None, metavar="PATH",
-        help="output JSON path (default: BENCH_PR3.json)",
+        help="output JSON path (default: BENCH_PR5.json)",
+    )
+    bench_p.add_argument(
+        "--calibration-dtype", default=None, metavar="DTYPE",
+        choices=["float32", "float64"], dest="calibration_dtype",
+        help="calibration-trajectory precision (default: float32 fast path; "
+             "float64 is the legacy exact trajectory)",
     )
     bench_p.add_argument(
         "--baseline", type=float, default=None, metavar="SECONDS",
@@ -349,6 +355,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         baseline_s=args.baseline,
         baseline_ref=args.baseline_ref,
         cache_dir=args.cache_dir,
+        calibration_dtype=args.calibration_dtype,
     )
     rows = []
     for name, rec in payload["benchmarks"].items():

@@ -24,17 +24,18 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from .. import profiling
 from ..diffusion.pipeline import GenerationPipeline, PerElementRNG
 from ..diffusion.samplers import make_sampler
 from ..diffusion.schedule import DiffusionSchedule
 from ..nn.module import Module
-from ..quant.calibration import calibrate_model
-from ..quant.tdq import set_active_step
-from ..quant.qlayers import (
-    quantize_model,
-    reset_model_state,
-    set_model_mode,
-)
+
+# NOTE: repro.quant imports are deliberately deferred to call time.  The
+# quantized layers import repro.core.bitwidth, which initializes this
+# package, which imports this module - a module-level import of
+# repro.quant here therefore breaks ``import repro.quant`` whenever quant
+# is the first repro package touched (partially-initialized-module
+# ImportError).  Every method below needs them only at execution time.
 from .graphinfo import GraphAnalyzer, LayerStaticInfo
 from .modes import ExecutionMode
 from .trace import RichTrace, TraceRecorder
@@ -92,6 +93,7 @@ class DittoEngine:
         guidance_scale: Optional[float] = None,
         uncond_conditioning: Optional[dict] = None,
         sampler_eta: Optional[float] = None,
+        calibration_dtype: Optional[str] = None,
     ) -> "DittoEngine":
         """Quantize ``fp_model`` (optionally trajectory-calibrated) and wrap it.
 
@@ -105,6 +107,12 @@ class DittoEngine:
         [cond; uncond] layout the serving run uses).  ``sampler_eta``
         selects stochastic DDIM (eta > 0 posterior noise).  The model is
         quantized *in place*.
+
+        ``calibration_dtype`` selects the precision of the calibration
+        trajectory: ``"float32"`` (the default fast path - the observed
+        peaks move by ulps, far below quantization resolution; see
+        :func:`repro.quant.calibration.calibration_precision`) or
+        ``"float64"`` for the legacy exact trajectory.
         """
         schedule = DiffusionSchedule(num_train_steps)
         sampler = make_sampler(sampler_name, schedule, num_steps, eta=sampler_eta)
@@ -116,38 +124,56 @@ class DittoEngine:
             guidance_scale=guidance_scale,
             uncond_conditioning=uncond_conditioning,
         )
+        from ..defaults import resolve_calibration_dtype
+        from ..quant.calibration import calibrate_model, calibration_precision
+        from ..quant.qlayers import quantize_model
+        from ..quant.tdq import set_active_step
+
         rng = np.random.default_rng(calibration_seed)
+        cal_dtype = resolve_calibration_dtype(None, calibration_dtype)
+
+        def run_trajectory():
+            with profiling.phase("trajectory"):
+                return pipeline.generate(1, rng)
+
         if step_clusters > 1:
             from ..quant.calibration import calibrate_model_clustered
 
-            calls = [0]
-            original_predict = pipeline.predict_noise
+            # Enter the precision context *before* capturing predict_noise:
+            # the stepped wrapper then wraps the dtype-casting wrapper, so
+            # every clustered calibration forward also runs the fast path.
+            with calibration_precision(fp_model, pipeline, cal_dtype):
+                calls = [0]
+                original_predict = pipeline.predict_noise
 
-            def stepped_predict(x: np.ndarray, t: int) -> np.ndarray:
-                set_active_step(calls[0])
-                calls[0] += 1
-                return original_predict(x, t)
+                def stepped_predict(x: np.ndarray, t: int) -> np.ndarray:
+                    set_active_step(calls[0])
+                    calls[0] += 1
+                    return original_predict(x, t)
 
-            pipeline.predict_noise = stepped_predict
-            try:
-                quantizers = calibrate_model_clustered(
-                    fp_model,
-                    lambda: pipeline.generate(1, rng),
-                    num_steps=pipeline.num_model_calls(),
-                    num_clusters=step_clusters,
-                )
-            finally:
-                pipeline.predict_noise = original_predict
-                set_active_step(None)
-            qmodel = quantize_model(fp_model, input_quantizers=quantizers)
+                pipeline.predict_noise = stepped_predict
+                try:
+                    with profiling.phase("calibration"):
+                        quantizers = calibrate_model_clustered(
+                            fp_model,
+                            run_trajectory,
+                            num_steps=pipeline.num_model_calls(),
+                            num_clusters=step_clusters,
+                        )
+                finally:
+                    pipeline.predict_noise = original_predict
+                    set_active_step(None)
+            with profiling.phase("quantize"):
+                qmodel = quantize_model(fp_model, input_quantizers=quantizers)
         else:
             if calibrate:
-                scales = calibrate_model(
-                    fp_model, lambda: pipeline.generate(1, rng)
-                )
+                with calibration_precision(fp_model, pipeline, cal_dtype):
+                    with profiling.phase("calibration"):
+                        scales = calibrate_model(fp_model, run_trajectory)
             else:
                 scales = None
-            qmodel = quantize_model(fp_model, calibration=scales)
+            with profiling.phase("quantize"):
+                qmodel = quantize_model(fp_model, calibration=scales)
         pipeline.model = qmodel
         engine = cls(qmodel, pipeline, benchmark=benchmark)
         engine.step_clusters = step_clusters
@@ -164,6 +190,7 @@ class DittoEngine:
         guidance_scale: Optional[float] = None,
         sampler: Optional[str] = None,
         sampler_eta: Optional[float] = None,
+        calibration_dtype: Optional[str] = None,
     ) -> "DittoEngine":
         """Build an engine from a Table I :class:`BenchmarkSpec`.
 
@@ -172,9 +199,15 @@ class DittoEngine:
         (e.g. the empty-prompt embedding for text-conditional benchmarks).
         ``sampler`` / ``sampler_eta`` override the spec's sampler (e.g. to
         serve a benchmark under stochastic DDPM ancestral sampling).
+        ``calibration_dtype`` overrides the spec's calibration-trajectory
+        precision (default: the float32 fast path; ``"float64"`` is the
+        escape hatch - see :meth:`from_model`).
         """
+        from ..defaults import resolve_calibration_dtype
+
         fp_model = spec.build_model()
         conditioning = spec.build_conditioning()
+        calibration_dtype = resolve_calibration_dtype(spec, calibration_dtype)
         if guidance_scale is None:
             guidance_scale = getattr(spec, "guidance_scale", None)
         uncond_conditioning = None
@@ -199,6 +232,7 @@ class DittoEngine:
             step_clusters=step_clusters,
             guidance_scale=guidance_scale,
             uncond_conditioning=uncond_conditioning,
+            calibration_dtype=calibration_dtype,
         )
 
     # -- static analysis -----------------------------------------------------
@@ -213,6 +247,8 @@ class DittoEngine:
         batch size, which is what lets a batch-N run reproduce N batch-1 runs
         bit-exactly (the serving contract pinned by the batched-state tests).
         """
+        from ..quant.qlayers import reset_model_state, set_model_mode
+
         reset_model_state(self.qmodel)
         set_model_mode(self.qmodel, ExecutionMode.DENSE)
         probe_fn = self._probe_fn(batch_size)
@@ -240,6 +276,8 @@ class DittoEngine:
         """
         if self._scales_frozen():
             return
+        from ..quant.qlayers import reset_model_state, set_model_mode
+
         reset_model_state(self.qmodel)
         set_model_mode(self.qmodel, ExecutionMode.DENSE)
         self._probe_fn(batch_size)()
@@ -329,14 +367,15 @@ class DittoEngine:
             # dataclasses would be discarded - skip them.
             self._freeze_scales(batch_size)
             static_info = {}
+        # Resolve the quantized layers once; setting the mode per denoiser
+        # call must not re-walk the whole module tree.
+        from ..quant.qlayers import iter_qlayers, reset_model_state
+        from ..quant.tdq import set_active_step
+
         reset_model_state(self.qmodel)
         recorder = TraceRecorder()
         calls = [0]
         original_predict = self.pipeline.predict_noise
-        # Resolve the quantized layers once; setting the mode per denoiser
-        # call must not re-walk the whole module tree.
-        from ..quant.qlayers import iter_qlayers
-
         qlayers = [qlayer for _, qlayer in iter_qlayers(self.qmodel)]
 
         active_mode = [None]

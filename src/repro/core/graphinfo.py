@@ -27,7 +27,11 @@ import numpy as np
 
 from ..nn.layers import GELU, GroupNorm, LayerNorm, SiLU, Softmax
 from ..nn.module import Module
-from ..quant.qlayers import QLayerBase, iter_qlayers
+
+# repro.quant imports are deferred to call time: the quantized layers import
+# repro.core.bitwidth, which initializes this package, which imports this
+# module - a module-level quant import here would therefore break
+# ``import repro.quant`` whenever quant is the first repro package touched.
 
 __all__ = ["LayerStaticInfo", "GraphAnalyzer", "analyze_model"]
 
@@ -42,6 +46,8 @@ _NONLINEAR_KINDS = {
 
 
 def _module_kind(module: Module) -> str:
+    from ..quant.qlayers import QLayerBase
+
     if isinstance(module, QLayerBase):
         return "linear"
     for cls, kind in _NONLINEAR_KINDS.items():
@@ -73,6 +79,8 @@ class GraphAnalyzer:
         (``producer_kind`` / ``chained_input`` / ``nonlinear_after``) so that
         subsequent trace records carry them.
         """
+        from ..quant.qlayers import QLayerBase, iter_qlayers
+
         # id(array) -> (kind, array ref to pin identity for the run duration)
         producers: Dict[int, Tuple[str, np.ndarray]] = {}
         # layer name -> producer kind of its observed input

@@ -39,12 +39,10 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..quant.qlayers import (
-    remap_model_rows,
-    reset_model_state,
-    set_model_mode,
-)
-from ..quant.tdq import set_active_step
+# repro.quant imports are deferred to call time: the quantized layers import
+# repro.core.bitwidth, which initializes this package, which imports this
+# module - a module-level quant import here would therefore break
+# ``import repro.quant`` whenever quant is the first repro package touched.
 from ..scratch import clear_scratch
 from .modes import ExecutionMode
 
@@ -100,6 +98,8 @@ class EngineSession:
         self._mapping: List[Optional[int]] = []
         self._tags = itertools.count()
         self._closed = False
+        from ..quant.qlayers import reset_model_state, set_model_mode
+
         # Sticky scales must freeze batch-independently before any serving
         # row runs; a no-op once the engine has served anything.
         engine._freeze_scales(1)
@@ -193,6 +193,9 @@ class EngineSession:
         trajectory.  Returns ``[(tag, sample), ...]`` for the completed rows
         (sample shape ``(1, *sample_shape)``).
         """
+        from ..quant.qlayers import remap_model_rows, reset_model_state
+        from ..quant.tdq import set_active_step
+
         self._check_open()
         if not self._rows:
             raise RuntimeError("no in-flight rows; admit before stepping")
@@ -256,6 +259,9 @@ class EngineSession:
     # -- lifecycle ---------------------------------------------------------
     def close(self) -> None:
         """Release the engine: drop temporal state, clear the step vector."""
+        from ..quant.qlayers import reset_model_state
+        from ..quant.tdq import set_active_step
+
         if self._closed:
             return
         self._closed = True

@@ -69,7 +69,10 @@ class Attention(Module):
 
     # -- arithmetic (overridden by the quantized subclass) -------------------
     def scores(self, q: np.ndarray, k: np.ndarray) -> np.ndarray:
-        return (q @ k.transpose(0, 1, 3, 2)) / np.sqrt(self.head_dim)
+        # Python float, not np.float64 scalar: a float64 scalar divisor
+        # would promote the float32 calibration fast path back to float64
+        # under NEP 50 (identical double value either way).
+        return (q @ k.transpose(0, 1, 3, 2)) / float(np.sqrt(self.head_dim))
 
     def attend(self, probs: np.ndarray, v: np.ndarray) -> np.ndarray:
         return probs @ v

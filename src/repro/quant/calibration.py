@@ -12,16 +12,112 @@ one or more short trajectories, records per-layer input ranges, and emits a
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Callable, Dict, List
 
 import numpy as np
 
+from ..nn import functional as F
 from ..nn.attention import Attention
 from ..nn.layers import Conv2d, Linear
 from ..nn.module import Module
 from .quantizer import SymmetricQuantizer
 
-__all__ = ["CalibrationCollector", "calibrate_model"]
+__all__ = [
+    "CalibrationCollector",
+    "calibrate_model",
+    "calibration_precision",
+]
+
+
+@contextmanager
+def calibration_precision(model: Module, pipeline, dtype):
+    """Run the calibration trajectory in ``dtype`` (the float32 fast path).
+
+    The FP32 calibration trajectory only exists to observe per-layer
+    activation peaks; it does not feed samples to anyone.  Running it in
+    float32 instead of float64 halves the memory traffic of every kernel in
+    the trajectory - the dominant cold-build cost - while moving the
+    observed peaks (and therefore the quantization scales) by at most a few
+    ulps of float32, orders of magnitude below quantization resolution
+    (bounds pinned per benchmark in ``tests/test_hotloop_numerics.py``).
+
+    Within the context:
+
+    * every :class:`~repro.nn.module.Parameter` and every plain float64
+      ``ndarray`` module attribute (DiT/Latte positional tables) is swapped
+      for a float32 copy,
+    * the pipeline's conditioning tensors are cast (and the tiled-cond
+      memo cleared, both on entry and exit, so no float32 tile leaks into
+      the quantized run),
+    * ``pipeline.predict_noise`` casts the sampler's float64 state to
+      ``dtype`` at the model boundary, and
+    * sinusoidal embeddings emit ``dtype`` (the one in-model float64
+      source), via :func:`repro.nn.functional.set_embedding_dtype`.
+
+    Everything is restored on exit - the original float64 weights are kept
+    by reference, so quantization afterwards sees bit-identical parameters.
+    ``dtype=float64`` makes the context a no-op (the escape hatch).
+    """
+    dt = np.dtype(dtype)
+    if dt == np.float64:
+        yield
+        return
+    if dt != np.float32:
+        raise ValueError(
+            f"calibration dtype must be float32 or float64, got {dt}"
+        )
+    # The save lists build incrementally INSIDE the try block: if any cast
+    # raises mid-setup (e.g. MemoryError on a large positional table), the
+    # finally still restores everything swapped so far - a user-owned model
+    # must never come back half-cast to float32.
+    saved_params: List[tuple] = []
+    seen_params = set()
+    saved_attrs: List[tuple] = []
+    saved_cond: List[tuple] = []
+    prev_predict = pipeline.__dict__.get("predict_noise")
+    prev_embed = F.embedding_dtype()
+    try:
+        for _, param in model.named_parameters():
+            if id(param) in seen_params:
+                continue
+            seen_params.add(id(param))
+            if param.data.dtype == np.float64:
+                saved_params.append((param, param.data))
+                param.data = param.data.astype(dt)
+        for _, module in model.named_modules():
+            for key, value in list(vars(module).items()):
+                if isinstance(value, np.ndarray) and value.dtype == np.float64:
+                    saved_attrs.append((module, key, value))
+                    # Bypass Module.__setattr__'s registration bookkeeping.
+                    module.__dict__[key] = value.astype(dt)
+        for cond in (pipeline.conditioning, pipeline.uncond_conditioning):
+            for key, value in cond.items():
+                if isinstance(value, np.ndarray) and value.dtype == np.float64:
+                    saved_cond.append((cond, key, value))
+                    cond[key] = value.astype(dt)
+        pipeline._cond_cache.clear()
+        original_predict = pipeline.predict_noise
+
+        def cast_predict(x: np.ndarray, t) -> np.ndarray:
+            return original_predict(np.asarray(x, dtype=dt), t)
+
+        pipeline.predict_noise = cast_predict
+        F.set_embedding_dtype(dt)
+        yield
+    finally:
+        F.set_embedding_dtype(prev_embed)
+        if prev_predict is None:
+            pipeline.__dict__.pop("predict_noise", None)
+        else:
+            pipeline.predict_noise = prev_predict
+        for cond, key, value in saved_cond:
+            cond[key] = value
+        for module, key, value in saved_attrs:
+            module.__dict__[key] = value
+        for param, data in saved_params:
+            param.data = data
+        pipeline._cond_cache.clear()
 
 
 class CalibrationCollector:

@@ -151,25 +151,27 @@ def _row_diff_stats(mat: np.ndarray) -> BitWidthStats:
     return classify(buf)
 
 
-def _cols_spatial_stats(cols: np.ndarray) -> BitWidthStats:
-    """Diffy stats over im2col patch rows, differenced per batch image.
+def _cols_spatial_stats_t(cols_t: np.ndarray) -> BitWidthStats:
+    """Diffy stats over transposed ``(N, dot, P)`` im2col columns.
 
-    Equivalent to ``classify(concatenate([_spatial_diff_rows(b) for b in
-    cols]))``: within each batch entry the first sliding window stays dense
-    and consecutive windows are differenced, all in one fused pass.
+    Equivalent to classifying, per batch image, the first sliding window
+    dense plus the differences of consecutive windows - which here are
+    consecutive entries of the trailing *positions* axis.  The differenced
+    value multiset (and therefore the classification histogram) is
+    identical to the old row-major formulation, in one fused pass.
     """
-    if cols.shape[1] <= 1:
-        return classify_many(cols)
-    diff_shape = (cols.shape[0], cols.shape[1] - 1, cols.shape[2])
+    if cols_t.shape[2] <= 1:
+        return classify_many(cols_t)
+    diff_shape = (cols_t.shape[0], cols_t.shape[1], cols_t.shape[2] - 1)
     diff = np.subtract(
-        cols[:, 1:],
-        cols[:, :-1],
+        cols_t[:, :, 1:],
+        cols_t[:, :, :-1],
         out=F.scratch_buffer(
-            "coldiff", diff_shape, _diff_scratch_dtype(cols.dtype)
+            "coldiff", diff_shape, _diff_scratch_dtype(cols_t.dtype)
         ),
         casting="unsafe",
     )
-    return classify_many(cols[:, :1], diff)
+    return classify_many(cols_t[:, :, :1], diff)
 
 
 class QLayerBase(Module):
@@ -421,6 +423,8 @@ class QConv2d(QLayerBase):
             weight, bits, per_channel
         )
         self.bias = None if bias is None else np.array(bias, dtype=np.float64)
+        # Previous-step im2col columns in the transposed (N, C*k*k, P)
+        # layout of :func:`repro.nn.functional.im2col_t`.
         self._prev_cols: Optional[np.ndarray] = None
         # Ping-pong pair of per-layer im2col buffers: the forward pass
         # unfolds into one while the other still holds the previous step's
@@ -487,20 +491,22 @@ class QConv2d(QLayerBase):
         )
         diff = self._temporal_diff(q_in)
         mode = self._effective_mode(diff)
-        # Single-pass instrumentation: unfold once, share the patch rows
-        # between the integer matmul and the spatial-difference stats (and,
-        # via the cached previous-step cols, the temporal-difference matmul:
-        # im2col is linear, so im2col(q_in - prev) == cols - prev_cols).
+        # Single-pass instrumentation: unfold once (blocked transposed
+        # im2col - k*k shifted contiguous block copies for stride 1), share
+        # the patch columns between the integer matmul and the
+        # spatial-difference stats (and, via the cached previous-step cols,
+        # the temporal-difference matmul: im2col is linear, so
+        # im2col_t(q_in - prev) == cols_t - prev_cols_t).
         n, _, h, w = q_in.shape
         out_h = (h + 2 * self.padding - self.kernel_size) // self.stride + 1
         out_w = (w + 2 * self.padding - self.kernel_size) // self.stride + 1
         dot_len = self.in_channels * self.kernel_size * self.kernel_size
-        cols, out_hw = F.im2col(
+        cols, out_hw = F.im2col_t(
             q_in,
             self.kernel_size,
             self.stride,
             self.padding,
-            out=self._cols_buffer((n, out_h * out_w, dot_len)),
+            out=self._cols_buffer((n, dot_len, out_h * out_w)),
         )
         prev_cols = getattr(self, "_prev_cols", None)
         q_weight = self._q_weight_f32 if self._use_f32 else self.q_weight
@@ -511,13 +517,13 @@ class QConv2d(QLayerBase):
                     prev_cols,
                     out=F.scratch_buffer("tdiff", cols.shape, cols.dtype),
                 )
-                conv = F.conv2d_from_cols(diff_cols, q_weight, out_hw)
+                conv = F.conv2d_from_cols_t(diff_cols, q_weight, out_hw)
             else:  # state predates the cols cache (defensive)
                 conv = F.conv2d(diff, self.q_weight, None, self.stride, self.padding)
             # float64 + float32 upcasts exactly; the sum runs in float64.
             out_int = self._prev_out_int + conv
         else:
-            out_int = F.conv2d_from_cols(cols, q_weight, out_hw)
+            out_int = F.conv2d_from_cols_t(cols, q_weight, out_hw)
             if out_int.dtype != np.float64:
                 out_int = out_int.astype(np.float64)
         w_scale = self.weight_scale
@@ -545,8 +551,8 @@ class QConv2d(QLayerBase):
         if TraceRecorder.current() is None:
             return  # nobody is listening; skip the stats passes entirely
         # Spatial (Diffy) differences live between consecutive sliding
-        # windows, i.e. consecutive rows of the im2col matrix - reused from
-        # the forward pass instead of unfolding a second time.
+        # windows, i.e. consecutive *positions* of the transposed im2col
+        # matrix - reused from the forward pass instead of unfolding again.
         dot_len = self.in_channels * self.kernel_size * self.kernel_size
         macs = (out_int.size // self.out_channels) * dot_len * self.out_channels
         record_step(
@@ -560,7 +566,7 @@ class QConv2d(QLayerBase):
                 weight_elems=int(self.q_weight.size),
                 data_elems=int(q_in.size),
                 stats_dense=classify(q_in),
-                stats_spatial=_cols_spatial_stats(cols),
+                stats_spatial=_cols_spatial_stats_t(cols),
                 stats_temporal=None if diff is None else classify(diff),
                 sub_ops_temporal=1,
                 vpu_elems=int(out_int.size) if self.nonlinear_after else 0,

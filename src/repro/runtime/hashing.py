@@ -24,6 +24,8 @@ import json
 from pathlib import Path
 from typing import Any, Callable, Dict, Mapping, Optional
 
+from ..defaults import resolve_calibration_dtype
+
 __all__ = [
     "CACHE_SCHEMA_VERSION",
     "callable_fingerprint",
@@ -115,6 +117,9 @@ def spec_signature(spec) -> Dict[str, Any]:
         "uncond_builder": (
             "" if build_uncond is None else callable_fingerprint(build_uncond)
         ),
+        # Normalized like BenchmarkSpec.signature(): an explicit default pin
+        # is behaviorally identical to None and must share cache entries.
+        "calibration_dtype": resolve_calibration_dtype(spec),
     }
 
 
@@ -127,8 +132,17 @@ def engine_key(
     seed: int = 0,
     batch_size: int = 1,
     guidance_scale: Optional[float] = None,
+    calibration_dtype: Optional[str] = None,
 ) -> str:
-    """Cache key for one instrumented :class:`EngineResult`."""
+    """Cache key for one instrumented :class:`EngineResult`.
+
+    ``calibration_dtype`` normalizes through the one shared
+    :func:`repro.defaults.resolve_calibration_dtype` rule -
+    exactly how ``DittoEngine.from_benchmark`` resolves it - so equivalent
+    invocations share one entry while differently-calibrated engines can
+    never collide.
+    """
+    resolved_cal_dtype = resolve_calibration_dtype(spec, calibration_dtype)
     return stable_hash(
         {
             "kind": "engine_result",
@@ -141,6 +155,7 @@ def engine_key(
             "seed": seed,
             "batch_size": batch_size,
             "guidance_scale": guidance_scale,
+            "calibration_dtype": str(resolved_cal_dtype),
         }
     )
 

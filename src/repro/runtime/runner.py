@@ -82,6 +82,7 @@ def _compute_engine_result(spec, params: dict) -> EngineResult:
         calibration_seed=params["calibration_seed"],
         step_clusters=params["step_clusters"],
         guidance_scale=params.get("guidance_scale"),
+        calibration_dtype=params.get("calibration_dtype"),
     )
     return engine.run(batch_size=params["batch_size"], seed=params["seed"])
 
@@ -181,6 +182,7 @@ class EngineRunner:
         seed: int = 0,
         batch_size: int = 1,
         guidance_scale: Optional[float] = None,
+        calibration_dtype: Optional[str] = None,
     ) -> EngineResult:
         """One cached instrumented run (serial; use :meth:`run_suite` to fan out)."""
         params = {
@@ -191,6 +193,7 @@ class EngineRunner:
             "seed": seed,
             "batch_size": batch_size,
             "guidance_scale": guidance_scale,
+            "calibration_dtype": calibration_dtype,
         }
         return _run_one("engine", spec_or_name, params, self._cache)[1]
 
@@ -204,6 +207,7 @@ class EngineRunner:
         step_clusters: int = 1,
         seed: int = 0,
         guidance_scale: Optional[float] = None,
+        calibration_dtype: Optional[str] = None,
     ) -> Dict[int, EngineResult]:
         """Cached instrumented runs of one benchmark across batch sizes.
 
@@ -224,6 +228,7 @@ class EngineRunner:
                     "seed": seed,
                     "batch_size": size,
                     "guidance_scale": guidance_scale,
+                    "calibration_dtype": calibration_dtype,
                 },
             )
             for size in sizes
@@ -263,6 +268,7 @@ class EngineRunner:
         seed: int = 0,
         batch_size: int = 1,
         guidance_scale: Optional[float] = None,
+        calibration_dtype: Optional[str] = None,
     ) -> Dict[str, EngineResult]:
         """Instrumented runs for every benchmark, cache-first then pooled."""
         params = {
@@ -273,6 +279,7 @@ class EngineRunner:
             "seed": seed,
             "batch_size": batch_size,
             "guidance_scale": guidance_scale,
+            "calibration_dtype": calibration_dtype,
         }
         return self._map("engine", self._default_suite(benchmarks), params)
 

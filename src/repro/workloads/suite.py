@@ -72,6 +72,11 @@ class BenchmarkSpec:
     # either here or per-run via ``DittoEngine.from_benchmark``.
     guidance_scale: Optional[float] = None
     build_uncond_conditioning: Optional[Callable[[], Optional[dict]]] = None
+    # Calibration-trajectory precision: ``None`` means the engine default
+    # (the float32 fast path); set ``"float64"`` to pin a benchmark to the
+    # legacy exact trajectory.  Overridable per run via
+    # ``DittoEngine.from_benchmark(calibration_dtype=...)``.
+    calibration_dtype: Optional[str] = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -88,6 +93,7 @@ class BenchmarkSpec:
         package - invalidates cached results, while the signature stays
         identical across processes and sessions.
         """
+        from ..defaults import resolve_calibration_dtype
         from ..runtime.hashing import callable_fingerprint
 
         return {
@@ -107,6 +113,10 @@ class BenchmarkSpec:
                 if self.build_uncond_conditioning is None
                 else callable_fingerprint(self.build_uncond_conditioning)
             ),
+            # Normalized through the one shared resolution rule: a spec
+            # explicitly pinned to the engine default is behaviorally
+            # identical to an unpinned one and must share its cache entries.
+            "calibration_dtype": resolve_calibration_dtype(self),
         }
 
 

@@ -1,0 +1,117 @@
+"""Per-phase bench breakdown: the profiler and the schema-3 record shape.
+
+``repro bench`` must attribute cold wall clock to phases (build:
+calibration / trajectory / quantize / norm / im2col; run: norm / im2col)
+and report *medians across repeats* for every headline and phase timing -
+the statistic ``scripts/check_bench.py`` gates on.
+"""
+
+import statistics
+import time
+
+import numpy as np
+
+from repro import profiling
+from repro.bench import bench_benchmark
+from repro.nn import functional as F
+
+
+# -- the ambient profiler ----------------------------------------------------
+
+def test_phase_accumulates_only_when_active():
+    with profiling.profile() as prof:
+        with profiling.phase("alpha"):
+            time.sleep(0.002)
+        with profiling.phase("alpha"):
+            pass
+        profiling.record("beta", 1.5)
+    assert prof.buckets["alpha"] >= 0.002
+    assert prof.buckets["beta"] == 1.5
+    # Outside any profile() the hooks are no-ops, not errors.
+    with profiling.phase("gamma"):
+        pass
+    profiling.record("gamma", 1.0)
+    assert profiling.active() is None
+
+
+def test_profile_nesting_restores_previous():
+    with profiling.profile() as outer:
+        profiling.record("x", 1.0)
+        with profiling.profile() as inner:
+            profiling.record("x", 2.0)
+        assert profiling.active() is outer
+        profiling.record("x", 0.5)
+    assert outer.buckets["x"] == 1.5
+    assert inner.buckets["x"] == 2.0
+
+
+def test_hot_kernels_report_into_active_profiler():
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((1, 8, 8, 8))
+    with profiling.profile() as prof:
+        F.group_norm(x, 4)
+        F.layer_norm(rng.standard_normal((2, 4, 16)))
+        F.im2col_t(x, 3, 1, 1)
+        F.im2col(x, 3, 1, 1)
+    assert prof.buckets["norm"] > 0.0
+    assert prof.buckets["im2col"] > 0.0
+    snap = prof.snapshot()
+    assert set(snap) == {"norm", "im2col"}
+
+
+# -- the bench record --------------------------------------------------------
+
+def test_bench_records_per_phase_medians(tmp_path):
+    record = bench_benchmark(
+        "DDPM", repeats=3, num_steps=2, cache_dir=str(tmp_path)
+    )
+    runs = record["cold_runs"]
+    assert len(runs) == 3
+    # Headline cold timings are medians across the repeats, not best-of-N.
+    assert record["cold_build_s"] == round(
+        statistics.median(r["build_s"] for r in runs), 4
+    )
+    assert record["cold_run_s"] == round(
+        statistics.median(r["run_s"] for r in runs), 4
+    )
+    assert record["cold_total_s"] == round(
+        statistics.median(r["total_s"] for r in runs), 4
+    )
+    assert record["cold_best_total_s"] == min(r["total_s"] for r in runs)
+    # Every repeat carries its own phase breakdown...
+    for run in runs:
+        assert set(run["phases"]) == {"build", "run"}
+        assert {"calibration", "trajectory", "quantize"} <= set(
+            run["phases"]["build"]
+        )
+        assert "norm" in run["phases"]["run"]
+        assert "im2col" in run["phases"]["run"]
+        # The trajectory is timed inside the calibration phase.
+        assert (
+            run["phases"]["build"]["trajectory"]
+            <= run["phases"]["build"]["calibration"] + 1e-6
+        )
+    # ...and the record-level phases are the per-bucket medians.
+    for section in ("build", "run"):
+        for bucket, value in record["phases"][section].items():
+            per_repeat = [r["phases"][section].get(bucket, 0.0) for r in runs]
+            assert value == round(statistics.median(per_repeat), 4)
+
+
+def test_bench_respects_calibration_dtype(tmp_path):
+    """The escape hatch reaches the engine: a float64 bench run must not
+    collide with the float32 default in the result cache."""
+    f32 = bench_benchmark(
+        "DDPM", repeats=1, num_steps=2, cache_dir=str(tmp_path)
+    )
+    f64 = bench_benchmark(
+        "DDPM", repeats=1, num_steps=2, cache_dir=str(tmp_path),
+        calibration_dtype="float64",
+    )
+    # Distinct cache entries were written (two pickles on disk).
+    entries = list(tmp_path.rglob("*"))
+    assert len([p for p in entries if p.is_file()]) >= 2
+    # Scales differ in ulps, so the drift canary may differ in the last
+    # digits but the records must be structurally identical.
+    assert f32["records"] == f64["records"]
+    assert f32["steps"] == f64["steps"]

@@ -24,19 +24,22 @@ def check_bench():
 
 
 def _record(cold_total=1.0, cold_build=0.4, cold_run=0.6, warm=0.001,
-            speed=None):
+            speed=None, phases=None):
+    sized = {
+        "cold_build_s": cold_build,
+        "cold_run_s": cold_run,
+        "cold_total_s": cold_total,
+        "warm_load_s": warm,
+    }
+    if phases is not None:
+        sized["phases"] = phases
     return {
-        "schema": 2,
+        "schema": 3,
         "host": {} if speed is None else {"speed_index_s": speed},
         "benchmarks": {
             "DDPM": {
                 "by_batch_size": {
-                    "1": {
-                        "cold_build_s": cold_build,
-                        "cold_run_s": cold_run,
-                        "cold_total_s": cold_total,
-                        "warm_load_s": warm,
-                    }
+                    "1": sized,
                 }
             }
         },
@@ -151,8 +154,84 @@ def test_gate_errors_on_unreadable_records(tmp_path, check_bench):
 
 
 def test_gate_against_committed_baseline(check_bench, capsys):
-    """The committed BENCH_PR3.json compared to itself passes - the shape the
+    """The committed BENCH_PR5.json compared to itself passes - the shape the
     perf-smoke job consumes is exactly what `repro bench` wrote."""
-    baseline = str(Path(__file__).resolve().parents[1] / "BENCH_PR3.json")
+    baseline = str(Path(__file__).resolve().parents[1] / "BENCH_PR5.json")
     assert check_bench.main([baseline, "--baseline", baseline]) == 0
     assert "OK" in capsys.readouterr().out
+
+
+# -- per-phase gating (schema 3) ---------------------------------------------
+
+def test_build_win_cannot_mask_run_regression(tmp_path, check_bench, capsys):
+    """A big build-phase speedup plus a run-phase regression keeps the total
+    inside the tolerance - the per-phase gate must still fail on the run."""
+    base = _write(tmp_path, "base.json", _record())
+    fresh = _write(
+        tmp_path, "fresh.json",
+        # build 0.4 -> 0.15 (win), run 0.6 -> 0.95 (+58%); total 1.0 -> 1.1
+        # stays under the 25% total tolerance.
+        _record(cold_total=1.1, cold_build=0.15, cold_run=0.95),
+    )
+    assert check_bench.main([fresh, "--baseline", base]) == 1
+    out = capsys.readouterr().out
+    assert "cold_run_s" in out and "REGRESSED" in out
+
+
+def test_phase_bucket_regression_fails_alone(tmp_path, check_bench, capsys):
+    """A regressed phases bucket fails even when every headline timing is
+    flat (attribution the totals can never give)."""
+    base = _write(
+        tmp_path, "base.json",
+        _record(phases={"build": {"calibration": 0.3}, "run": {"norm": 0.1}}),
+    )
+    fresh = _write(
+        tmp_path, "fresh.json",
+        _record(phases={"build": {"calibration": 0.3}, "run": {"norm": 0.4}}),
+    )
+    assert check_bench.main([fresh, "--baseline", base]) == 1
+    out = capsys.readouterr().out
+    assert "run.norm" in out and "REGRESSED" in out
+
+
+def test_phase_buckets_respect_min_delta_and_normalization(
+    tmp_path, check_bench
+):
+    # Tiny buckets ride the absolute slack like the warm load does...
+    base = _write(
+        tmp_path, "base.json",
+        _record(speed=0.03, phases={"build": {"quantize": 0.004}}),
+    )
+    fresh = _write(
+        tmp_path, "fresh.json",
+        _record(speed=0.03, phases={"build": {"quantize": 0.012}}),
+    )
+    assert check_bench.main([fresh, "--baseline", base]) == 0
+    # ...and large ones are compared in baseline-machine seconds.
+    base = _write(
+        tmp_path, "base2.json",
+        _record(speed=0.03, phases={"run": {"im2col": 0.4}}),
+    )
+    slow_host = _write(
+        tmp_path, "fresh2.json",
+        _record(speed=0.06, phases={"run": {"im2col": 0.8}}),
+    )
+    assert check_bench.main([slow_host, "--baseline", base]) == 0
+    same_host = _write(
+        tmp_path, "fresh3.json",
+        _record(speed=0.03, phases={"run": {"im2col": 0.8}}),
+    )
+    assert check_bench.main([same_host, "--baseline", base]) == 1
+
+
+def test_phaseless_records_still_compare(tmp_path, check_bench):
+    """Pre-schema-3 records (no phases dict) flow through the gate; a fresh
+    record growing new phase buckets never fails, and a baseline bucket
+    missing from the fresh record only warns."""
+    base = _write(tmp_path, "base.json", _record())
+    fresh = _write(
+        tmp_path, "fresh.json",
+        _record(phases={"run": {"norm": 0.1}}),
+    )
+    assert check_bench.main([fresh, "--baseline", base]) == 0
+    assert check_bench.main([base, "--baseline", fresh]) == 0

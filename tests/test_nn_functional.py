@@ -191,3 +191,73 @@ def test_conv_linearity_property(seed):
     lhs = F.conv2d(a, w, padding=1) + F.conv2d(b, w, padding=1)
     rhs = F.conv2d(a + b, w, padding=1)
     np.testing.assert_array_equal(lhs, rhs)
+
+
+# -- blocked transposed im2col (PR 5) ----------------------------------------
+
+@pytest.mark.parametrize(
+    "kernel,stride,padding",
+    [(3, 1, 1), (3, 1, 0), (1, 1, 0), (3, 2, 1), (2, 2, 0)],
+)
+def test_im2col_t_is_transposed_im2col(rng, kernel, stride, padding):
+    """Column values are identical to im2col - only the layout transposes."""
+    x = rng.normal(size=(2, 3, 9, 9))
+    cols, hw = F.im2col(x.copy(), kernel, stride, padding)
+    cols_t, hw_t = F.im2col_t(x.copy(), kernel, stride, padding)
+    assert hw == hw_t
+    np.testing.assert_array_equal(cols.transpose(0, 2, 1), cols_t)
+
+
+def test_im2col_t_out_buffer_and_cast(rng):
+    """A float32 out buffer receives the (exact-integer) patches in place."""
+    x = rng.integers(-8, 8, size=(1, 2, 6, 6)).astype(np.float64)
+    out = np.empty((1, 2 * 9, 36), dtype=np.float32)
+    cols_t, _ = F.im2col_t(x, 3, 1, 1, out=out)
+    assert cols_t is out
+    ref, _ = F.im2col(x, 3, 1, 1)
+    np.testing.assert_array_equal(ref.transpose(0, 2, 1), cols_t.astype(np.float64))
+
+
+def test_im2col_t_pad_workspace_not_shared_across_padding_widths():
+    """Two paddings with coinciding padded shapes must not share borders."""
+    rng = np.random.default_rng(9)
+    a = rng.standard_normal((1, 2, 32, 32))  # padded shape (1,2,34,34), p=1
+    b = rng.standard_normal((1, 2, 30, 30))  # padded shape (1,2,34,34), p=2
+    F.im2col_t(a, 3, 1, 1)  # dirty the p=1 workspace interior
+    cols_t, _ = F.im2col_t(b, 3, 1, 2)
+    ref = np.zeros((1, 2, 34, 34))
+    ref[:, :, 2:32, 2:32] = b
+    ref_cols_t, _ = F.im2col_t(ref, 3, 1, 0)
+    np.testing.assert_array_equal(cols_t, ref_cols_t)
+
+
+def test_conv2d_from_cols_t_matches_row_major(rng):
+    x = rng.normal(size=(2, 3, 8, 8))
+    w = rng.normal(size=(5, 3, 3, 3))
+    bias = rng.normal(size=5)
+    cols, hw = F.im2col(x, 3, 1, 1)
+    want = F.conv2d_from_cols(cols, w, hw, bias)
+    cols_t, _ = F.im2col_t(x, 3, 1, 1)
+    got = F.conv2d_from_cols_t(cols_t, w, hw, bias)
+    np.testing.assert_allclose(got, want, rtol=1e-12, atol=1e-12)
+    # Pre-flattened weights are accepted too (the quantized conv caches them).
+    got_flat = F.conv2d_from_cols_t(cols_t, w.reshape(5, -1), hw, bias)
+    np.testing.assert_array_equal(got, got_flat)
+
+
+def test_conv2d_emits_contiguous_nchw(rng):
+    """The transposed GEMM path emits C-contiguous NCHW directly - the
+    layout downstream fused reductions rely on being view-reshapable."""
+    x = rng.normal(size=(1, 4, 6, 6))
+    w = rng.normal(size=(8, 4, 3, 3))
+    out = F.conv2d(x, w, padding=1)
+    assert out.flags["C_CONTIGUOUS"]
+
+
+def test_im2col_t_rejects_mis_shaped_out_buffer(rng):
+    """A stale-shaped reusable buffer is a caller bug and must fail loudly,
+    not silently degrade to a fresh allocation the owner never sees."""
+    x = rng.normal(size=(1, 2, 6, 6))
+    stale = np.empty((1, 2 * 9, 16), dtype=np.float64)  # wrong positions
+    with pytest.raises(ValueError, match="out buffer"):
+        F.im2col_t(x, 3, 1, 1, out=stale)
