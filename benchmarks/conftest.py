@@ -30,12 +30,28 @@ from pathlib import Path
 
 import pytest
 
+from repro.lint import runtime as lint_runtime
 from repro.runtime import EngineRunner
 from repro.workloads import SUITE
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
 BENCHMARKS = list(SUITE)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _numeric_sanitizer():
+    """Install the runtime numeric sanitizer when REPRO_SANITIZE=1.
+
+    Covers in-process engine builds; REPRO_BENCH_JOBS worker processes run
+    unwrapped (they re-import repro fresh), which is fine - the CI sanitize
+    leg runs single-process.
+    """
+    if not lint_runtime.enabled():
+        yield
+        return
+    with lint_runtime.sanitized():
+        yield
 
 
 @pytest.fixture(scope="session")

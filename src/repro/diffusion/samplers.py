@@ -10,6 +10,7 @@ is the "extra step 50'" visible in the paper's Fig. 4a).
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from typing import Deque, Optional, Sequence
 
@@ -111,7 +112,9 @@ class Sampler:
         return np.concatenate(rows, axis=0)
 
     def _predict_x0(self, x: np.ndarray, eps: np.ndarray, a_bar: float) -> np.ndarray:
-        return (x - np.sqrt(1.0 - a_bar) * eps) / np.sqrt(a_bar)
+        # math.sqrt returns a weak Python float (NEP 50): identical bits to
+        # np.sqrt on the float64 path, but it cannot promote a float32 x/eps.
+        return (x - math.sqrt(1.0 - a_bar) * eps) / math.sqrt(a_bar)
 
 
 class DDIMSampler(Sampler):
@@ -140,15 +143,16 @@ class DDIMSampler(Sampler):
         a_bar = self.schedule.alpha_bar(t)
         a_bar_prev = self.schedule.alpha_bar(self.prev_timestep(index))
         x0 = self._predict_x0(x, eps, a_bar)
-        sigma = self.eta * np.sqrt(
+        sigma = self.eta * math.sqrt(
             (1.0 - a_bar_prev) / (1.0 - a_bar) * (1.0 - a_bar / a_bar_prev)
         )
-        direction = np.sqrt(max(1.0 - a_bar_prev - sigma ** 2, 0.0)) * eps
-        x_prev = np.sqrt(a_bar_prev) * x0 + direction
+        direction = math.sqrt(max(1.0 - a_bar_prev - sigma ** 2, 0.0)) * eps
+        x_prev = math.sqrt(a_bar_prev) * x0 + direction
         if sigma > 0.0:
             if rng is None:
                 raise ValueError("stochastic DDIM (eta>0) needs an rng")
-            x_prev = x_prev + sigma * rng.standard_normal(x.shape)
+            noise = rng.standard_normal(x.shape).astype(x.dtype, copy=False)
+            x_prev = x_prev + sigma * noise
         return x_prev
 
 
@@ -174,10 +178,11 @@ class DDPMSampler(Sampler):
         beta = float(self.schedule.betas[t])
         alpha = 1.0 - beta
         a_bar = self.schedule.alpha_bar(t)
-        mean = (x - beta / np.sqrt(1.0 - a_bar) * eps) / np.sqrt(alpha)
+        mean = (x - beta / math.sqrt(1.0 - a_bar) * eps) / math.sqrt(alpha)
         if self.prev_timestep(index) < 0:
             return mean
-        return mean + np.sqrt(beta) * rng.standard_normal(x.shape)
+        noise = rng.standard_normal(x.shape).astype(x.dtype, copy=False)
+        return mean + math.sqrt(beta) * noise
 
 
 class PLMSSampler(Sampler):
@@ -210,7 +215,7 @@ class PLMSSampler(Sampler):
         a_bar = self.schedule.alpha_bar(t)
         a_bar_prev = self.schedule.alpha_bar(self.prev_timestep(index))
         x0 = self._predict_x0(x, eps, a_bar)
-        return np.sqrt(a_bar_prev) * x0 + np.sqrt(1.0 - a_bar_prev) * eps
+        return math.sqrt(a_bar_prev) * x0 + math.sqrt(1.0 - a_bar_prev) * eps
 
     def step(
         self,
@@ -267,9 +272,9 @@ class DPMSolverPlusPlusSampler(Sampler):
 
     def _coeffs(self, t: int):
         a_bar = self.schedule.alpha_bar(t)
-        alpha = np.sqrt(a_bar)
-        sigma = np.sqrt(max(1.0 - a_bar, 1e-12))
-        return alpha, sigma, np.log(alpha / sigma)
+        alpha = math.sqrt(a_bar)
+        sigma = math.sqrt(max(1.0 - a_bar, 1e-12))
+        return alpha, sigma, math.log(alpha / sigma)
 
     def step(
         self,
@@ -297,7 +302,7 @@ class DPMSolverPlusPlusSampler(Sampler):
         else:
             alpha_s, sigma_s, lam_s = self._coeffs(s)
             h = lam_s - lam_t
-            x_next = (sigma_s / sigma_t) * x - alpha_s * np.expm1(-h) * data
+            x_next = (sigma_s / sigma_t) * x - alpha_s * math.expm1(-h) * data
         self._prev_x0 = x0
         self._prev_h = h if np.isfinite(h) else None
         return x_next

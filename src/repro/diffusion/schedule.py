@@ -8,6 +8,7 @@ building calibration trajectories with known ground truth.
 
 from __future__ import annotations
 
+import math
 from typing import Tuple
 
 import numpy as np
@@ -55,9 +56,11 @@ class DiffusionSchedule:
         self, x0: np.ndarray, t: int, rng: np.random.Generator
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Forward process: sample ``x_t ~ q(x_t | x_0)``; returns (x_t, eps)."""
-        eps = rng.standard_normal(x0.shape)
+        eps = rng.standard_normal(x0.shape).astype(x0.dtype, copy=False)
         a_bar = self.alpha_bar(t)
-        return np.sqrt(a_bar) * x0 + np.sqrt(1.0 - a_bar) * eps, eps
+        # math.sqrt keeps the scalars weak (NEP 50) so a float32 x0 stays
+        # float32; bit-identical to np.sqrt on the float64 path.
+        return math.sqrt(a_bar) * x0 + math.sqrt(1.0 - a_bar) * eps, eps
 
     def spaced_timesteps(self, num_steps: int) -> np.ndarray:
         """Evenly spaced inference timesteps, descending (T-1 ... 0)."""

@@ -1,0 +1,115 @@
+"""``repro lint``: AST invariant checkers + runtime numeric sanitizer.
+
+Static side (``repro lint`` / ``python -m repro.lint``): five repo-specific
+rules over ``src/repro`` - see :mod:`repro.lint.checkers` for the contracts
+and README "Invariants & static checks" for the rule table.  Exit status is
+0 when the repo is clean (modulo baseline), 1 otherwise.
+
+Runtime side: :mod:`repro.lint.runtime`, an opt-in (``REPRO_SANITIZE=1``)
+kernel-wrapping sanitizer that the test suite installs from conftest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .checkers import default_checkers
+from .framework import (
+    Finding,
+    Project,
+    SourceFile,
+    load_baseline,
+    load_project,
+    run_checkers,
+    run_lint,
+    write_baseline,
+)
+
+__all__ = [
+    "Finding",
+    "Project",
+    "SourceFile",
+    "default_checkers",
+    "load_project",
+    "run_checkers",
+    "run_lint",
+    "main",
+]
+
+
+def _default_root() -> Path:
+    """The repo root: the directory holding ``src/repro`` (this package)."""
+    return Path(__file__).resolve().parents[3]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Run the repo's AST invariant checkers (RPL001-RPL005).",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repo root to lint (default: the checkout this package lives in)",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="also write all findings (including baselined) as JSON",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="JSON baseline of accepted findings; only new findings fail",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to --baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the active rules and exit",
+    )
+    args = parser.parse_args(argv)
+
+    checkers = default_checkers()
+    if args.list_rules:
+        for checker in checkers:
+            print(f"{checker.rule}  {checker.title}")
+        return 0
+
+    root = args.root if args.root is not None else _default_root()
+    baseline = None
+    if args.baseline is not None and args.baseline.exists() and not args.write_baseline:
+        baseline = load_baseline(args.baseline)
+    findings, new = run_lint(root, checkers, baseline)
+
+    if args.json is not None:
+        args.json.write_text(
+            json.dumps([f.to_json() for f in findings], indent=2) + "\n"
+        )
+    if args.write_baseline:
+        if args.baseline is None:
+            print("--write-baseline requires --baseline PATH", file=sys.stderr)
+            return 2
+        write_baseline(findings, args.baseline)
+        print(f"wrote {len(findings)} finding(s) to {args.baseline}")
+        return 0
+
+    for finding in new:
+        print(finding)
+    suppressed = len(findings) - len(new)
+    tail = f" ({suppressed} baselined)" if suppressed else ""
+    print(f"repro lint: {len(new)} finding(s){tail}, {len(checkers)} checkers")
+    return 1 if new else 0

@@ -1,0 +1,706 @@
+"""The repo-specific invariant checkers (RPL001-RPL005).
+
+Each rule encodes a contract that a past PR violated by hand before being
+fixed by inspection; see README "Invariants & static checks" for the full
+contract table and suppression instructions.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .framework import Checker, Finding, Project, SourceFile
+
+__all__ = [
+    "DtypePromotionChecker",
+    "TemporalStateRegistryChecker",
+    "SpecCacheKeyChecker",
+    "ProfilerPhaseChecker",
+    "GemmLayoutChecker",
+    "default_checkers",
+]
+
+# Modules on the numeric hot path where NEP-50 scalar promotion and GEMM
+# layout mistakes actually cost correctness or throughput.
+_HOT_DIR_RE = re.compile(r"src/repro/(nn|diffusion|quant)/")
+_GEMM_DIR_RE = re.compile(r"src/repro/(nn|diffusion|quant|core)/")
+
+_NUMPY_ALIASES = {"np", "numpy"}
+
+
+def _is_numpy_call(node: ast.Call, names: Set[str]) -> bool:
+    func = node.func
+    return (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id in _NUMPY_ALIASES
+        and func.attr in names
+    )
+
+
+def _attr_call_name(node: ast.Call) -> Optional[str]:
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    return None
+
+
+class _ParentAnnotator(ast.NodeVisitor):
+    """Attach ``_lint_parent`` back-references so checkers can look upward."""
+
+    def generic_visit(self, node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            child._lint_parent = node  # type: ignore[attr-defined]
+        super().generic_visit(node)
+
+
+def _annotate_parents(tree: ast.AST) -> None:
+    tree._lint_parent = None  # type: ignore[attr-defined]
+    _ParentAnnotator().visit(tree)
+
+
+# ---------------------------------------------------------------------------
+# RPL001 - numpy scalar math leaking float64 into hot-path array arithmetic
+# ---------------------------------------------------------------------------
+
+# np.<fn>(python_scalar) returns a np.float64 *scalar*, which NEP-50 treats
+# as "strong": multiplying it into a float32 array silently promotes the
+# whole array to float64 (the gelu/attention leak class PR 5 fixed by hand).
+# math.<fn> / float(np.<fn>(...)) produce weak Python floats that preserve
+# the array dtype - and are bit-identical on the float64 path (same
+# correctly-rounded libm).
+_SCALAR_MATH_FNS = {
+    "sqrt",
+    "log",
+    "log2",
+    "log10",
+    "log1p",
+    "exp",
+    "expm1",
+    "power",
+    "cos",
+    "sin",
+    "tan",
+    "arcsin",
+    "arccos",
+    "arctan",
+    "arctan2",
+}
+
+# Calls that conjure an ndarray out of non-array inputs; names assigned from
+# them (or from expressions containing known arrays) count as array evidence.
+_ARRAY_PRODUCERS = {
+    "arange",
+    "linspace",
+    "zeros",
+    "zeros_like",
+    "ones",
+    "ones_like",
+    "empty",
+    "empty_like",
+    "full",
+    "full_like",
+    "asarray",
+    "array",
+    "ascontiguousarray",
+    "atleast_1d",
+    "atleast_2d",
+    "concatenate",
+    "stack",
+    "where",
+    "cumprod",
+    "cumsum",
+    "clip",
+    "pad",
+    "rint",
+    "abs",
+    "maximum",
+    "minimum",
+    "outer",
+    "meshgrid",
+}
+
+# Methods whose result is an ndarray whenever they are worth calling at all.
+_ARRAY_METHODS = {"astype", "reshape", "copy", "transpose", "standard_normal", "normal", "uniform"}
+
+
+class _ScopeInfo:
+    """Names with local evidence of being ndarrays, per function scope."""
+
+    def __init__(self) -> None:
+        self.array_names: Set[str] = set()
+
+
+def _annotation_is_array(node: Optional[ast.AST]) -> bool:
+    if node is None:
+        return False
+    try:
+        text = ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse failures on exotic nodes
+        return False
+    return "ndarray" in text
+
+
+class DtypePromotionChecker(Checker):
+    """RPL001: ``np.<math>(scalar)`` in hot modules promotes f32 arrays."""
+
+    rule = "RPL001"
+    title = "numpy float64 scalar leaking into hot-path array arithmetic"
+
+    def check_file(self, handle: SourceFile) -> Iterable[Finding]:
+        if not _HOT_DIR_RE.search(handle.rel_path):
+            return []
+        _annotate_parents(handle.tree)
+        findings: List[Finding] = []
+        for scope_node, body in self._scopes(handle.tree):
+            info = self._scope_info(scope_node, body)
+            for node in body:
+                for call in ast.walk(node):
+                    if not isinstance(call, ast.Call):
+                        continue
+                    # Don't descend into nested function scopes twice.
+                    if self._enclosing_scope(call) is not scope_node:
+                        continue
+                    finding = self._check_call(call, info, handle)
+                    if finding is not None:
+                        findings.append(finding)
+        return findings
+
+    # -- scope handling ----------------------------------------------------
+
+    def _scopes(self, tree: ast.AST) -> List[Tuple[ast.AST, List[ast.stmt]]]:
+        scopes: List[Tuple[ast.AST, List[ast.stmt]]] = [(tree, list(tree.body))]
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append((node, list(node.body)))
+        return scopes
+
+    def _enclosing_scope(self, node: ast.AST) -> ast.AST:
+        current = getattr(node, "_lint_parent", None)
+        while current is not None and not isinstance(
+            current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)
+        ):
+            current = getattr(current, "_lint_parent", None)
+        return current
+
+    def _scope_info(self, scope_node: ast.AST, body: Sequence[ast.stmt]) -> _ScopeInfo:
+        info = _ScopeInfo()
+        if isinstance(scope_node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = scope_node.args
+            for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+                if _annotation_is_array(arg.annotation):
+                    info.array_names.add(arg.arg)
+        # Two passes so chains like a = np.arange(n); b = a * 2 resolve.
+        for _ in range(2):
+            for stmt in body:
+                for node in ast.walk(stmt):
+                    target = None
+                    value = None
+                    if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                        target, value = node.targets[0], node.value
+                    elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                        target, value = node.target, node.value
+                    if not isinstance(target, ast.Name) or value is None:
+                        continue
+                    if self._is_arrayish(value, info):
+                        info.array_names.add(target.id)
+        return info
+
+    def _is_arrayish(self, node: ast.AST, info: _ScopeInfo) -> bool:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and sub.id in info.array_names:
+                return True
+            if isinstance(sub, ast.Call):
+                if _is_numpy_call(sub, _ARRAY_PRODUCERS):
+                    return True
+                if isinstance(sub.func, ast.Attribute) and sub.func.attr in _ARRAY_METHODS:
+                    return True
+        return False
+
+    # -- the actual check --------------------------------------------------
+
+    def _check_call(
+        self, call: ast.Call, info: _ScopeInfo, handle: SourceFile
+    ) -> Optional[Finding]:
+        if not _is_numpy_call(call, _SCALAR_MATH_FNS):
+            return None
+        # out= targets an existing array: no scalar is produced.
+        if any(kw.arg == "out" for kw in call.keywords):
+            return None
+        # float(np.sqrt(...)) is the sanctioned weak-scalar idiom.
+        parent = getattr(call, "_lint_parent", None)
+        if (
+            isinstance(parent, ast.Call)
+            and isinstance(parent.func, ast.Name)
+            and parent.func.id == "float"
+        ):
+            return None
+        # Any array evidence in the arguments means the result is an array
+        # and dtype follows the input - fine.
+        if any(self._is_arrayish(arg, info) for arg in call.args):
+            return None
+        fn = call.func.attr  # type: ignore[union-attr]
+        return Finding(
+            path=handle.rel_path,
+            line=call.lineno,
+            rule=self.rule,
+            message=(
+                f"np.{fn}(<scalar>) yields a strong np.float64 scalar that "
+                f"promotes float32 arrays under NEP 50; use math.{fn}(...) or "
+                f"wrap in float(...)"
+            ),
+        )
+
+
+# ---------------------------------------------------------------------------
+# RPL002 - temporal-state attrs must be covered by the state registry
+# ---------------------------------------------------------------------------
+
+_REMAP_METHODS = {"remap_rows"}
+_NBYTES_METHODS = {"state_nbytes"}
+_CLEAR_METHODS = {"reset_state", "_invalidate_rows"}
+_REGISTRY_METHODS = _REMAP_METHODS | _NBYTES_METHODS | _CLEAR_METHODS
+
+
+def _is_scalar_only_value(node: ast.AST) -> bool:
+    """True for assignments that never hold buffer state (ints, dtypes)."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float, bool, str)):
+        return True
+    if isinstance(node, ast.UnaryOp) and isinstance(node.operand, ast.Constant):
+        return True
+    if isinstance(node, ast.Call) and _is_numpy_call(node, {"dtype"}):
+        return True
+    return False
+
+
+class TemporalStateRegistryChecker(Checker):
+    """RPL002: ``self._prev_*`` / ``self._cols_*`` must be registry-covered.
+
+    PR 4's ``_prev_cols`` alias bug inflated the reported per-row footprint
+    ~22% because a state buffer existed outside the remap/nbytes/clear
+    bookkeeping.  Any buffer-holding ``_prev_*`` attribute assigned in a
+    class whose hierarchy implements the registry must be referenced by
+    ``remap_rows``, ``state_nbytes`` and the clear path
+    (``reset_state``/``_invalidate_rows``); ``_cols_*`` scratch buffers must
+    at least be counted by ``state_nbytes``.
+    """
+
+    rule = "RPL002"
+    title = "temporal-state attribute missing from the state registry"
+
+    def check_file(self, handle: SourceFile) -> Iterable[Finding]:
+        classes: Dict[str, ast.ClassDef] = {
+            node.name: node
+            for node in ast.walk(handle.tree)
+            if isinstance(node, ast.ClassDef)
+        }
+        findings: List[Finding] = []
+        for cls in classes.values():
+            mro = self._local_mro(cls, classes)
+            methods = self._methods(mro)
+            if not (_REMAP_METHODS | _NBYTES_METHODS) & set(methods):
+                continue  # not a stateful registry class
+            attrs = self._state_attrs(mro)
+            for attr, (line, values) in sorted(attrs.items()):
+                if all(_is_scalar_only_value(v) for v in values if v is not None):
+                    continue
+                missing = self._missing_registries(attr, methods)
+                if missing:
+                    # Keyed on (line, message) so the same base-class attr is
+                    # not re-reported once per subclass in the hierarchy.
+                    findings.append(
+                        Finding(
+                            path=handle.rel_path,
+                            line=line,
+                            rule=self.rule,
+                            message=(
+                                f"state attribute {attr!r} "
+                                f"is not referenced by {', '.join(missing)}"
+                            ),
+                        )
+                    )
+        return sorted(set(findings))
+
+    def _local_mro(
+        self, cls: ast.ClassDef, classes: Dict[str, ast.ClassDef]
+    ) -> List[ast.ClassDef]:
+        chain, seen = [cls], {cls.name}
+        frontier = [cls]
+        while frontier:
+            current = frontier.pop()
+            for base in current.bases:
+                if isinstance(base, ast.Name) and base.id in classes and base.id not in seen:
+                    seen.add(base.id)
+                    chain.append(classes[base.id])
+                    frontier.append(classes[base.id])
+        return chain
+
+    def _methods(self, mro: Sequence[ast.ClassDef]) -> Dict[str, List[ast.FunctionDef]]:
+        methods: Dict[str, List[ast.FunctionDef]] = {}
+        for cls in mro:
+            for node in cls.body:
+                if isinstance(node, ast.FunctionDef):
+                    methods.setdefault(node.name, []).append(node)
+        return methods
+
+    def _state_attrs(
+        self, mro: Sequence[ast.ClassDef]
+    ) -> Dict[str, Tuple[int, List[Optional[ast.AST]]]]:
+        """attr -> (first assignment line, assigned value nodes)."""
+        attrs: Dict[str, Tuple[int, List[Optional[ast.AST]]]] = {}
+
+        def record(name: str, line: int, value: Optional[ast.AST]) -> None:
+            if not (name.startswith("_prev") or name.startswith("_cols_")):
+                return
+            if name in attrs:
+                first_line, values = attrs[name]
+                attrs[name] = (min(first_line, line), values + [value])
+            else:
+                attrs[name] = (line, [value])
+
+        for cls in mro:
+            for method in (n for n in cls.body if isinstance(n, ast.FunctionDef)):
+                if method.name in _REGISTRY_METHODS:
+                    continue  # registry writes are bookkeeping, not new state
+                dict_aliases = self._dict_aliases(method)
+                for node in ast.walk(method):
+                    if isinstance(node, ast.Assign):
+                        targets, value = node.targets, node.value
+                    elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                        targets, value = [node.target], node.value
+                    else:
+                        continue
+                    for target in targets:
+                        name = self._attr_store_name(target, dict_aliases)
+                        if name is not None:
+                            kind = value if not isinstance(node, ast.AugAssign) else None
+                            record(name, target.lineno, kind)
+        return attrs
+
+    def _dict_aliases(self, method: ast.FunctionDef) -> Set[str]:
+        """Local names bound to ``self.__dict__`` (the hot-loop store idiom)."""
+        aliases: Set[str] = set()
+        for node in ast.walk(method):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Attribute)
+                and node.value.attr == "__dict__"
+                and isinstance(node.value.value, ast.Name)
+                and node.value.value.id == "self"
+            ):
+                aliases.add(node.targets[0].id)
+        return aliases
+
+    def _attr_store_name(self, target: ast.AST, dict_aliases: Set[str]) -> Optional[str]:
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            return target.attr
+        if isinstance(target, ast.Subscript) and isinstance(
+            target.slice, ast.Constant
+        ) and isinstance(target.slice.value, str):
+            base = target.value
+            # self.__dict__["attr"] = ... or d["attr"] = ... with d = self.__dict__
+            if (
+                isinstance(base, ast.Attribute)
+                and base.attr == "__dict__"
+                and isinstance(base.value, ast.Name)
+                and base.value.id == "self"
+            ):
+                return target.slice.value
+            if isinstance(base, ast.Name) and base.id in dict_aliases:
+                return target.slice.value
+        return None
+
+    def _missing_registries(
+        self, attr: str, methods: Dict[str, List[ast.FunctionDef]]
+    ) -> List[str]:
+        groups = [("state_nbytes", _NBYTES_METHODS)]
+        if attr.startswith("_prev"):
+            groups.append(("remap_rows", _REMAP_METHODS))
+            groups.append(("reset_state/_invalidate_rows", _CLEAR_METHODS))
+        missing = []
+        for label, names in groups:
+            bodies = [m for name in names for m in methods.get(name, [])]
+            if not bodies:
+                continue  # hierarchy never implements it; out of scope
+            if not any(self._references(body, attr) for body in bodies):
+                missing.append(label)
+        return missing
+
+    def _references(self, method: ast.FunctionDef, attr: str) -> bool:
+        for node in ast.walk(method):
+            if isinstance(node, ast.Attribute) and node.attr == attr:
+                return True
+            if isinstance(node, ast.Constant) and node.value == attr:
+                return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# RPL003 - every BenchmarkSpec field feeds the cache key
+# ---------------------------------------------------------------------------
+
+
+class SpecCacheKeyChecker(Checker):
+    """RPL003: spec fields must be consumed by both cache-key producers.
+
+    PR 5 had to thread ``calibration_dtype`` into ``engine_key`` by hand to
+    stop differently-calibrated engines from aliasing one cache entry.  Any
+    ``BenchmarkSpec`` dataclass field must be referenced by
+    ``BenchmarkSpec.signature()`` *and* by the duck-typing fallback in
+    ``repro.runtime.hashing.spec_signature`` (which ``engine_key`` consumes).
+    """
+
+    rule = "RPL003"
+    title = "BenchmarkSpec field missing from the cache-key signature"
+
+    spec_suffix = "workloads/suite.py"
+    hashing_suffix = "runtime/hashing.py"
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        spec_file = project.find(self.spec_suffix)
+        hashing_file = project.find(self.hashing_suffix)
+        if spec_file is None or hashing_file is None:
+            return []
+        spec_cls = self._find_class(spec_file.tree, "BenchmarkSpec")
+        if spec_cls is None:
+            return []
+        fields = self._dataclass_fields(spec_cls)
+        signature = self._find_function(spec_cls, "signature")
+        fallback = self._find_function(hashing_file.tree, "spec_signature")
+        findings: List[Finding] = []
+        for name, line in fields:
+            missing = []
+            if signature is not None and not self._references(signature, name):
+                missing.append("BenchmarkSpec.signature()")
+            if fallback is not None and not self._references(fallback, name):
+                missing.append("runtime.hashing.spec_signature()")
+            if missing:
+                findings.append(
+                    Finding(
+                        path=spec_file.rel_path,
+                        line=line,
+                        rule=self.rule,
+                        message=(
+                            f"spec field {name!r} is not consumed by "
+                            f"{' or '.join(missing)}; new knobs must reach the "
+                            f"engine cache key or cached engines alias"
+                        ),
+                    )
+                )
+        return findings
+
+    def _find_class(self, tree: ast.AST, name: str) -> Optional[ast.ClassDef]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and node.name == name:
+                return node
+        return None
+
+    def _find_function(self, tree: ast.AST, name: str) -> Optional[ast.FunctionDef]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.FunctionDef) and node.name == name:
+                return node
+        return None
+
+    def _dataclass_fields(self, cls: ast.ClassDef) -> List[Tuple[str, int]]:
+        fields = []
+        for node in cls.body:
+            if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                annotation = ast.unparse(node.annotation) if node.annotation else ""
+                if "ClassVar" in annotation:
+                    continue
+                fields.append((node.target.id, node.lineno))
+        return fields
+
+    def _references(self, fn: ast.FunctionDef, name: str) -> bool:
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Attribute) and node.attr == name:
+                return True
+            if isinstance(node, ast.Constant) and node.value == name:
+                return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# RPL004 - hot-loop entry points stay profiled; buckets stay gated
+# ---------------------------------------------------------------------------
+
+_PROFILING_NAMES = {"profiling", "prof", "profiler"}
+_PROFILING_CALLS = {"phase", "add", "record", "active"}
+
+
+class ProfilerPhaseChecker(Checker):
+    """RPL004: registered hot-loop entry points must carry phase hooks.
+
+    The bench schema and ``scripts/check_bench.py`` gate per-phase timings;
+    an entry point that silently loses its hook (or a bucket unknown to the
+    gate) makes the perf regression gate blind to exactly the loops it was
+    built to watch.
+    """
+
+    rule = "RPL004"
+    title = "hot-loop entry point without profiler-phase coverage"
+
+    # path suffix -> function names that must contain a profiling hook
+    entry_points: Dict[str, Set[str]] = {
+        "nn/functional.py": {"group_norm", "layer_norm", "im2col", "im2col_t"},
+        "core/engine.py": {"from_model"},
+    }
+    # files that must know every bucket name used at a phase call site
+    gate_files = ("scripts/check_bench.py", "src/repro/bench.py")
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        findings.extend(self._check_entry_points(project))
+        findings.extend(self._check_buckets(project))
+        return findings
+
+    def _check_entry_points(self, project: Project) -> List[Finding]:
+        findings = []
+        for suffix, names in self.entry_points.items():
+            handle = project.find(suffix)
+            if handle is None:
+                continue
+            for node in ast.walk(handle.tree):
+                if isinstance(node, ast.FunctionDef) and node.name in names:
+                    if not self._has_profiling_call(node):
+                        findings.append(
+                            Finding(
+                                path=handle.rel_path,
+                                line=node.lineno,
+                                rule=self.rule,
+                                message=(
+                                    f"hot-loop entry point {node.name!r} has no "
+                                    f"profiling phase hook (profiling.phase / "
+                                    f"prof.add / profiling.record)"
+                                ),
+                            )
+                        )
+        return findings
+
+    def _has_profiling_call(self, fn: ast.FunctionDef) -> bool:
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                base = node.func.value
+                if (
+                    isinstance(base, ast.Name)
+                    and base.id in _PROFILING_NAMES
+                    and node.func.attr in _PROFILING_CALLS
+                ):
+                    return True
+        return False
+
+    def _check_buckets(self, project: Project) -> List[Finding]:
+        findings = []
+        gates = {suffix: project.text(suffix) for suffix in self.gate_files}
+        for handle in project.files.values():
+            for bucket, line in self._bucket_sites(handle):
+                for suffix, text in gates.items():
+                    if text is None:
+                        continue
+                    if not re.search(rf"\b{re.escape(bucket)}\b", text):
+                        findings.append(
+                            Finding(
+                                path=handle.rel_path,
+                                line=line,
+                                rule=self.rule,
+                                message=(
+                                    f"phase bucket {bucket!r} is unknown to "
+                                    f"{suffix}; the perf gate cannot watch it"
+                                ),
+                            )
+                        )
+        return findings
+
+    def _bucket_sites(self, handle: SourceFile) -> List[Tuple[str, int]]:
+        sites = []
+        for node in ast.walk(handle.tree):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            base = node.func.value
+            if not (isinstance(base, ast.Name) and base.id in _PROFILING_NAMES):
+                continue
+            if node.func.attr not in {"phase", "add", "record"}:
+                continue
+            if node.args and isinstance(node.args[0], ast.Constant):
+                value = node.args[0].value
+                if isinstance(value, str):
+                    sites.append((value, node.lineno))
+        return sites
+
+
+# ---------------------------------------------------------------------------
+# RPL005 - layout discipline at the exact-f32 GEMM call sites
+# ---------------------------------------------------------------------------
+
+_GEMM_SINKS = {"conv2d_from_cols", "conv2d_from_cols_t", "linear", "matmul", "dot"}
+_VIEW_METHODS = {"transpose", "swapaxes", "reshape"}
+
+
+class GemmLayoutChecker(Checker):
+    """RPL005: no transposed/reshaped views straight into the GEMM kernels.
+
+    The blocked integer GEMMs and the exact-f32 fast path assume C-contiguous
+    operands (the PR 2 "reduction temporaries must inherit layout" subtlety);
+    a strided view silently forces a copy per call or, worse, a slow BLAS
+    path.  Wrap the operand in ``np.ascontiguousarray(...)`` (or materialize
+    it earlier) to state the layout explicitly.
+    """
+
+    rule = "RPL005"
+    title = "strided view fed directly into an exact-f32 GEMM call site"
+
+    def check_file(self, handle: SourceFile) -> Iterable[Finding]:
+        if not _GEMM_DIR_RE.search(handle.rel_path):
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(handle.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = _attr_call_name(node)
+            if callee not in _GEMM_SINKS:
+                continue
+            # np.dot/np.matmul check both operands; the repo kernels take the
+            # layout-critical cols/data operand first.
+            n_args = 2 if callee in {"matmul", "dot"} else 1
+            for arg in node.args[:n_args]:
+                if self._is_strided_view(arg):
+                    findings.append(
+                        Finding(
+                            path=handle.rel_path,
+                            line=arg.lineno,
+                            rule=self.rule,
+                            message=(
+                                f"{ast.unparse(arg)} is a strided view passed "
+                                f"directly to {callee}(); wrap in "
+                                f"np.ascontiguousarray(...) to guarantee layout"
+                            ),
+                        )
+                    )
+        return findings
+
+    def _is_strided_view(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Attribute) and node.attr == "T":
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _VIEW_METHODS:
+                return True
+        return False
+
+
+def default_checkers() -> List[Checker]:
+    return [
+        DtypePromotionChecker(),
+        TemporalStateRegistryChecker(),
+        SpecCacheKeyChecker(),
+        ProfilerPhaseChecker(),
+        GemmLayoutChecker(),
+    ]

@@ -1,0 +1,196 @@
+"""Tiny AST-lint framework for the repo's own serving-stack invariants.
+
+``repro lint`` is not a general-purpose linter: every rule encodes a contract
+this codebase has already been bitten by (NEP-50 scalar promotion, the
+temporal-state registry, cache-key coverage, profiler-phase coverage, GEMM
+layout discipline).  The framework keeps the moving parts small:
+
+* :class:`SourceFile` - one parsed ``.py`` file plus its per-line suppression
+  table (``# repro-lint: ignore[RULE]``).
+* :class:`Project` - every source file under ``src/repro`` plus auxiliary
+  texts (``scripts/check_bench.py``) that cross-file rules need to read.
+* :class:`Checker` - a rule.  Per-file rules implement :meth:`~Checker.check_file`;
+  cross-file rules implement :meth:`~Checker.check_project`.
+* :func:`run_lint` - load, check, filter suppressions, apply the optional
+  JSON baseline, and return findings sorted by location.
+
+Suppression semantics: a ``# repro-lint: ignore[RPL001]`` comment suppresses
+matching findings anchored on its own line; when the comment sits alone on a
+line it applies to the next line instead.  ``ignore[*]`` suppresses every
+rule.  Baselines are JSON files listing finding keys (rule + path + message,
+deliberately line-number free so unrelated edits don't churn them).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Finding",
+    "SourceFile",
+    "Project",
+    "Checker",
+    "load_project",
+    "run_checkers",
+    "run_lint",
+    "load_baseline",
+    "write_baseline",
+]
+
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*ignore\[([A-Za-z0-9_*,\s]+)\]")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, anchored at ``path:line``."""
+
+    path: str  # repo-relative posix path
+    line: int
+    rule: str
+    message: str
+
+    @property
+    def key(self) -> str:
+        """Baseline identity: line-free so edits above a finding don't churn it."""
+        return f"{self.rule}:{self.path}:{self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {"rule": self.rule, "path": self.path, "line": self.line, "message": self.message}
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+class SourceFile:
+    """A parsed source file plus its suppression table."""
+
+    def __init__(self, rel_path: str, source: str) -> None:
+        self.rel_path = rel_path.replace("\\", "/")
+        self.source = source
+        self.tree = ast.parse(source, filename=rel_path)
+        self._suppressions: Dict[int, Set[str]] = {}
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _SUPPRESS_RE.search(text)
+            if not match:
+                continue
+            rules = {part.strip() for part in match.group(1).split(",") if part.strip()}
+            # A comment-only line shields the statement below it.
+            target = lineno + 1 if text[: match.start()].strip() == "" else lineno
+            self._suppressions.setdefault(target, set()).update(rules)
+
+    def suppressed(self, line: int, rule: str) -> bool:
+        rules = self._suppressions.get(line, ())
+        return rule in rules or "*" in rules
+
+
+class Project:
+    """All lintable sources plus auxiliary raw texts cross-file rules read."""
+
+    def __init__(self, files: Mapping[str, SourceFile], aux: Optional[Mapping[str, str]] = None):
+        self.files: Dict[str, SourceFile] = dict(files)
+        self.aux: Dict[str, str] = dict(aux or {})
+
+    @classmethod
+    def from_sources(
+        cls, sources: Mapping[str, str], aux: Optional[Mapping[str, str]] = None
+    ) -> "Project":
+        """Build an in-memory project (used by the checker fixture tests)."""
+        return cls({path: SourceFile(path, text) for path, text in sources.items()}, aux)
+
+    def find(self, suffix: str) -> Optional[SourceFile]:
+        """The unique source file whose path ends with ``suffix`` (if any)."""
+        for path, handle in self.files.items():
+            if path.endswith(suffix):
+                return handle
+        return None
+
+    def text(self, suffix: str) -> Optional[str]:
+        """Raw text of a source or auxiliary file by path suffix."""
+        handle = self.find(suffix)
+        if handle is not None:
+            return handle.source
+        for path, text in self.aux.items():
+            if path.replace("\\", "/").endswith(suffix):
+                return text
+        return None
+
+
+class Checker:
+    """Base class: subclasses set ``rule``/``title`` and override one hook."""
+
+    rule: str = "RPL000"
+    title: str = ""
+
+    def check_file(self, handle: SourceFile) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        return ()
+
+
+def load_project(root: Path) -> Project:
+    """Load ``src/repro`` sources and the aux texts the project rules need."""
+    root = Path(root)
+    package = root / "src" / "repro"
+    files: Dict[str, SourceFile] = {}
+    for path in sorted(package.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        rel = path.relative_to(root).as_posix()
+        files[rel] = SourceFile(rel, path.read_text())
+    aux: Dict[str, str] = {}
+    check_bench = root / "scripts" / "check_bench.py"
+    if check_bench.exists():
+        aux["scripts/check_bench.py"] = check_bench.read_text()
+    return Project(files, aux)
+
+
+def run_checkers(project: Project, checkers: Sequence[Checker]) -> List[Finding]:
+    """Run every checker over the project and filter suppressed findings."""
+    findings: List[Finding] = []
+    for checker in checkers:
+        for handle in project.files.values():
+            findings.extend(checker.check_file(handle))
+        findings.extend(checker.check_project(project))
+    kept = []
+    for finding in findings:
+        handle = project.files.get(finding.path)
+        if handle is not None and handle.suppressed(finding.line, finding.rule):
+            continue
+        kept.append(finding)
+    return sorted(set(kept))
+
+
+def load_baseline(path: Path) -> Set[str]:
+    payload = json.loads(Path(path).read_text())
+    return set(payload.get("suppressed", []))
+
+
+def write_baseline(findings: Sequence[Finding], path: Path) -> None:
+    payload = {"version": 1, "suppressed": sorted({f.key for f in findings})}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def run_lint(
+    root: Path,
+    checkers: Optional[Sequence[Checker]] = None,
+    baseline: Optional[Set[str]] = None,
+) -> Tuple[List[Finding], List[Finding]]:
+    """Lint the repo at ``root``.
+
+    Returns ``(all_findings, new_findings)`` where ``new_findings`` excludes
+    anything covered by the baseline.  CI fails on ``new_findings`` only.
+    """
+    if checkers is None:
+        from .checkers import default_checkers
+
+        checkers = default_checkers()
+    findings = run_checkers(load_project(root), checkers)
+    baseline = baseline or set()
+    new = [f for f in findings if f.key not in baseline]
+    return findings, new

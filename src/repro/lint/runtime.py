@@ -1,0 +1,165 @@
+"""Opt-in runtime numeric sanitizer for the serving stack.
+
+The static checkers catch the patterns we know how to spot in source; this
+module catches the same invariant classes *dynamically*:
+
+* **no float64 inside a float32 calibration region** - the
+  ``calibration_precision("float32")`` fast path casts the whole model to
+  float32; any float64 array reaching a kernel inside that region means a
+  NEP-50 promotion leak snuck past RPL001 (and silently doubles the
+  calibration cost).
+* **no non-C-contiguous cols into the integer GEMMs** - the blocked
+  ``conv2d_from_cols``/``conv2d_from_cols_t`` kernels assume C-contiguous
+  column buffers (RPL005's runtime twin).
+
+Activation is opt-in: set ``REPRO_SANITIZE=1`` and the test suite's conftest
+installs the kernel wrappers for the whole session (one CI matrix leg runs
+this way).  ``calibration_precision`` always marks its region via
+:func:`calibration_region` - the marker is a cheap thread-local push/pop, so
+production runs pay nothing when the wrappers are not installed.
+
+This module deliberately imports nothing from ``repro`` at import time (the
+kernel module is resolved lazily inside :func:`install`) so
+``quant.calibration`` can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, Optional
+
+import numpy as np
+
+__all__ = [
+    "SanitizerError",
+    "enabled",
+    "calibration_region",
+    "active_calibration_dtype",
+    "install",
+    "uninstall",
+    "installed",
+    "sanitized",
+]
+
+
+class SanitizerError(AssertionError):
+    """A numeric invariant was violated at runtime."""
+
+
+_STATE = threading.local()
+
+
+def _region_stack() -> list:
+    stack = getattr(_STATE, "regions", None)
+    if stack is None:
+        stack = _STATE.regions = []
+    return stack
+
+
+def enabled() -> bool:
+    """Whether the environment opted into sanitized runs."""
+    return os.environ.get("REPRO_SANITIZE", "").strip().lower() in {"1", "true", "yes", "on"}
+
+
+@contextmanager
+def calibration_region(dtype: np.dtype) -> Iterator[None]:
+    """Mark the dynamic extent of a ``calibration_precision`` region."""
+    stack = _region_stack()
+    stack.append(np.dtype(dtype))
+    try:
+        yield
+    finally:
+        stack.pop()
+
+
+def active_calibration_dtype() -> Optional[np.dtype]:
+    stack = _region_stack()
+    return stack[-1] if stack else None
+
+
+def _check_no_float64(kernel: str, *arrays: Optional[np.ndarray]) -> None:
+    if active_calibration_dtype() != np.dtype(np.float32):
+        return
+    for array in arrays:
+        if isinstance(array, np.ndarray) and array.dtype == np.float64:
+            raise SanitizerError(
+                f"float64 array (shape {array.shape}) reached {kernel}() inside a "
+                f"float32 calibration region - a NEP-50 promotion leak is "
+                f"re-widening the fast path"
+            )
+
+
+def _check_contiguous(kernel: str, name: str, array: np.ndarray) -> None:
+    if isinstance(array, np.ndarray) and not array.flags.c_contiguous:
+        raise SanitizerError(
+            f"{kernel}() received a non-C-contiguous {name} buffer "
+            f"(shape {array.shape}, strides {array.strides}) - the blocked "
+            f"integer GEMM assumes C layout"
+        )
+
+
+_originals: Dict[str, Callable] = {}
+
+
+def installed() -> bool:
+    return bool(_originals)
+
+
+def install() -> None:
+    """Wrap the hot kernels in ``repro.nn.functional`` with invariant checks."""
+    if _originals:
+        return
+    from ..nn import functional as F
+
+    def wrap_dtype(name: str) -> None:
+        original = getattr(F, name)
+
+        def wrapper(*args, **kwargs):
+            arrays = [a for a in args if isinstance(a, np.ndarray)]
+            arrays += [v for v in kwargs.values() if isinstance(v, np.ndarray)]
+            _check_no_float64(name, *arrays)
+            return original(*args, **kwargs)
+
+        wrapper.__name__ = f"sanitized_{name}"
+        _originals[name] = original
+        setattr(F, name, wrapper)
+
+    def wrap_cols(name: str) -> None:
+        original = getattr(F, name)
+
+        def wrapper(cols, *args, **kwargs):
+            _check_contiguous(name, "cols", cols)
+            _check_no_float64(name, cols if isinstance(cols, np.ndarray) else None)
+            return original(cols, *args, **kwargs)
+
+        wrapper.__name__ = f"sanitized_{name}"
+        _originals[name] = original
+        setattr(F, name, wrapper)
+
+    for kernel in ("linear", "conv2d", "group_norm", "layer_norm"):
+        wrap_dtype(kernel)
+    for kernel in ("conv2d_from_cols", "conv2d_from_cols_t"):
+        wrap_cols(kernel)
+
+
+def uninstall() -> None:
+    """Restore the original kernels."""
+    if not _originals:
+        return
+    from ..nn import functional as F
+
+    for name, original in _originals.items():
+        setattr(F, name, original)
+    _originals.clear()
+
+
+@contextmanager
+def sanitized() -> Iterator[None]:
+    """Scoped install/uninstall (the conftest fixture uses this)."""
+    install()
+    try:
+        yield
+    finally:
+        uninstall()

@@ -20,6 +20,7 @@ bit-exactness waiver for the float (calibration) path.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from typing import Dict, Optional, Tuple
@@ -458,7 +459,7 @@ def _sinusoidal_freqs(dim: int, max_period: float) -> np.ndarray:
     freqs = _FREQ_CACHE.get(key)
     if freqs is None:
         half = dim // 2
-        freqs = np.exp(-np.log(max_period) * np.arange(half) / max(half, 1))
+        freqs = np.exp(-math.log(max_period) * np.arange(half) / max(half, 1))
         freqs.setflags(write=False)
         _FREQ_CACHE[key] = freqs
     return freqs

@@ -12,6 +12,7 @@ Layers fall into two classes that matter to Ditto:
 
 from __future__ import annotations
 
+import math
 from typing import Iterable, List, Optional
 
 import numpy as np
@@ -37,7 +38,9 @@ __all__ = [
 
 
 def _kaiming(rng: np.random.Generator, shape, fan_in: int) -> np.ndarray:
-    scale = 1.0 / np.sqrt(max(fan_in, 1))
+    # math.sqrt: same correctly-rounded double as np.sqrt (weights are
+    # bit-identical) without minting a strong np.float64 scalar (NEP 50).
+    scale = 1.0 / math.sqrt(max(fan_in, 1))
     return rng.uniform(-scale, scale, size=shape)
 
 

@@ -17,6 +17,7 @@ from typing import Callable, Dict, List
 
 import numpy as np
 
+from ..lint import runtime as sanitizer
 from ..nn import functional as F
 from ..nn.attention import Attention
 from ..nn.layers import Conv2d, Linear
@@ -104,7 +105,11 @@ def calibration_precision(model: Module, pipeline, dtype):
 
         pipeline.predict_noise = cast_predict
         F.set_embedding_dtype(dt)
-        yield
+        # Mark the dynamic extent for the opt-in runtime sanitizer
+        # (repro.lint.runtime): under REPRO_SANITIZE=1 any float64 array
+        # reaching a kernel in here is a promotion leak and raises.
+        with sanitizer.calibration_region(dt):
+            yield
     finally:
         F.set_embedding_dtype(prev_embed)
         if prev_predict is None:

@@ -279,8 +279,14 @@ class QLayerBase(Module):
             )
 
     def state_nbytes(self) -> int:
-        """Bytes of per-batch-element temporal state currently held."""
-        return _nbytes(self._prev_q_in, self._prev_out_int)
+        """Bytes of per-batch-element temporal state currently held.
+
+        ``_prev_scale`` is a scalar for lockstep batches but becomes a
+        per-row float64 array under continuous batching; ``_nbytes``
+        ignores the scalar form, so counting it here is free in lockstep
+        mode and keeps the serving pool budget honest per row.
+        """
+        return _nbytes(self._prev_q_in, self._prev_out_int, self._prev_scale)
 
 
 def _quantize_weight(weight: np.ndarray, bits: int, per_channel: bool):
@@ -700,7 +706,11 @@ class QAttention(QLayerBase):
         qk = self.k_quant.quantize(k, out_dtype=dtype)
         qv = self.v_quant.quantize(v, out_dtype=dtype)
         s_int = self._qk_matmul(qq, qk)
-        scores = s_int * (self.q_quant.scale * self.k_quant.scale) / np.sqrt(self.head_dim)
+        # float(...) keeps the divisor weak (NEP 50) so a float32 s_int stays
+        # float32 on the exact-f32 path; bit-identical arithmetic otherwise.
+        scores = (
+            s_int * (self.q_quant.scale * self.k_quant.scale) / float(np.sqrt(self.head_dim))
+        )
         probs = F.softmax(scores, axis=-1)
         qp = self.p_quant.quantize(
             probs, out_dtype=np.float32 if qv.dtype == np.float32 else None

@@ -103,16 +103,25 @@ def spec_signature(spec) -> Dict[str, Any]:
     if hasattr(spec, "signature"):
         return spec.signature()
     build = getattr(spec, "build_model", None)
+    build_cond = getattr(spec, "build_conditioning", None)
     build_uncond = getattr(spec, "build_uncond_conditioning", None)
     return {
         "name": spec.name,
         "sampler": spec.sampler,
         "num_steps": spec.num_steps,
+        # paper_steps feeds run-time step overrides ("paper steps" sweeps);
+        # a duck-typed spec without it inherits num_steps, matching how the
+        # engine falls back.
+        "paper_steps": getattr(spec, "paper_steps", None),
         "sample_shape": list(spec.sample_shape),
         "dataset": getattr(spec, "dataset", ""),
         "latent": getattr(spec, "latent", False),
         "is_video": getattr(spec, "is_video", False),
         "builder": "" if build is None else callable_fingerprint(build),
+        # Conditioning builders shape the sampled trajectory just as much as
+        # the model builder; leaving them out aliased cached engines across
+        # differently-conditioned duck-typed specs.
+        "cond_builder": "" if build_cond is None else callable_fingerprint(build_cond),
         "guidance_scale": getattr(spec, "guidance_scale", None),
         "uncond_builder": (
             "" if build_uncond is None else callable_fingerprint(build_uncond)

@@ -56,7 +56,9 @@ class BenchmarkSpec:
     """One row of Table I, scaled for the numpy substrate."""
 
     name: str
-    description: str
+    # Human-facing only; never influences the computed result, so it is
+    # deliberately absent from the cache-key signatures.
+    description: str  # repro-lint: ignore[RPL003]
     dataset: str
     sampler: str
     num_steps: int

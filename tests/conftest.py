@@ -4,8 +4,24 @@ import numpy as np
 import pytest
 
 from repro.diffusion import DiffusionSchedule
+from repro.lint import runtime as lint_runtime
 
 from helpers import make_tiny_engine
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _numeric_sanitizer():
+    """Install the runtime numeric sanitizer when REPRO_SANITIZE=1.
+
+    One CI matrix leg runs the whole suite this way: every kernel call is
+    checked for float64 leaks inside float32 calibration regions and for
+    non-C-contiguous cols entering the integer GEMMs.
+    """
+    if not lint_runtime.enabled():
+        yield
+        return
+    with lint_runtime.sanitized():
+        yield
 
 
 @pytest.fixture

@@ -1,0 +1,407 @@
+"""Checker-level tests for ``repro lint`` (RPL001-RPL005).
+
+Each rule gets a violating fixture proving it fires and a clean twin proving
+it stays quiet, plus framework tests (suppression, baseline, CLI) and the
+end-to-end assertion that the repo itself is clean.
+"""
+
+import json
+from pathlib import Path
+
+import repro
+from repro.lint import Project, default_checkers, main as lint_main, run_checkers, run_lint
+from repro.lint.checkers import (
+    DtypePromotionChecker,
+    GemmLayoutChecker,
+    ProfilerPhaseChecker,
+    SpecCacheKeyChecker,
+    TemporalStateRegistryChecker,
+)
+
+REPO_ROOT = Path(repro.__file__).resolve().parents[2]
+
+
+def lint_sources(sources, aux=None, checkers=None):
+    project = Project.from_sources(sources, aux)
+    return run_checkers(project, checkers or default_checkers())
+
+
+def rules_of(findings):
+    return {f.rule for f in findings}
+
+
+# ---------------------------------------------------------------------------
+# RPL001 - dtype promotion
+# ---------------------------------------------------------------------------
+
+RPL001_BAD = """\
+import numpy as np
+
+
+def step(x: np.ndarray, a_bar: float) -> np.ndarray:
+    return np.sqrt(a_bar) * x
+"""
+
+RPL001_CLEAN = """\
+import math
+
+import numpy as np
+
+
+def step(x: np.ndarray, a_bar: float) -> np.ndarray:
+    coeff = math.sqrt(a_bar)          # weak Python float: fine
+    other = float(np.sqrt(a_bar))     # sanctioned wrap: fine
+    grid = np.sqrt(np.arange(4))      # array argument: fine
+    np.sqrt(x, out=x)                 # in-place on an array: fine
+    chained = x * 2.0
+    also = np.sqrt(chained)           # derived array name: fine
+    return coeff * other * grid.sum() * also
+"""
+
+
+def test_rpl001_flags_scalar_np_math():
+    findings = lint_sources({"src/repro/diffusion/bad.py": RPL001_BAD})
+    assert [f.rule for f in findings] == ["RPL001"]
+    assert findings[0].line == 5
+    assert "math.sqrt" in findings[0].message
+
+
+def test_rpl001_clean_twin_is_quiet():
+    assert lint_sources({"src/repro/diffusion/good.py": RPL001_CLEAN}) == []
+
+
+def test_rpl001_only_applies_to_hot_modules():
+    # Same violating code outside nn/diffusion/quant is out of scope.
+    assert lint_sources({"src/repro/workloads/bad.py": RPL001_BAD}) == []
+
+
+# ---------------------------------------------------------------------------
+# RPL002 - temporal-state registry
+# ---------------------------------------------------------------------------
+
+RPL002_BAD = """\
+class QThing:
+    def __init__(self):
+        self._prev_buf = None
+        self._cols_bufs = [None, None]
+        self._cols_flip = 0
+
+    def forward(self, x):
+        d = self.__dict__
+        d["_prev_buf"] = x
+        self._cols_flip ^= 1
+
+    def remap_rows(self, mapping, old_batch):
+        self._prev_buf = None
+
+    def state_nbytes(self):
+        return 0
+
+    def reset_state(self):
+        pass
+"""
+
+RPL002_CLEAN = """\
+class QThing:
+    def __init__(self):
+        self._prev_buf = None
+        self._cols_bufs = [None, None]
+        self._cols_flip = 0
+
+    def forward(self, x):
+        d = self.__dict__
+        d["_prev_buf"] = x
+        self._cols_flip ^= 1
+
+    def remap_rows(self, mapping, old_batch):
+        self._prev_buf = None
+
+    def state_nbytes(self):
+        return sum(b.nbytes for b in (self._prev_buf, *self._cols_bufs) if b is not None)
+
+    def reset_state(self):
+        self._prev_buf = None
+        self._cols_bufs = [None, None]
+"""
+
+
+def test_rpl002_flags_unregistered_state():
+    findings = lint_sources({"src/repro/quant/bad.py": RPL002_BAD})
+    assert rules_of(findings) == {"RPL002"}
+    by_attr = {f.message.split("'")[1]: f.message for f in findings}
+    assert "state_nbytes" in by_attr["_prev_buf"]
+    assert "reset_state" in by_attr["_prev_buf"]
+    assert "state_nbytes" in by_attr["_cols_bufs"]
+    # _cols_flip holds only int scalars: never buffer state, never flagged.
+    assert "_cols_flip" not in by_attr
+
+
+def test_rpl002_clean_twin_is_quiet():
+    assert lint_sources({"src/repro/quant/good.py": RPL002_CLEAN}) == []
+
+
+def test_rpl002_ignores_classes_without_registry():
+    # A sampler holding _prev_* history but no remap/nbytes registry is fine.
+    source = RPL002_BAD.replace("remap_rows", "other").replace("state_nbytes", "misc")
+    assert lint_sources({"src/repro/diffusion/sampler_like.py": source}) == []
+
+
+# ---------------------------------------------------------------------------
+# RPL003 - spec/cache-key coverage
+# ---------------------------------------------------------------------------
+
+RPL003_SUITE_BAD = """\
+class BenchmarkSpec:
+    name: str
+    knob: int
+
+    def signature(self):
+        return {"name": self.name}
+"""
+
+RPL003_HASHING_BAD = """\
+def spec_signature(spec):
+    return {"name": spec.name}
+"""
+
+RPL003_SUITE_CLEAN = RPL003_SUITE_BAD.replace(
+    'return {"name": self.name}', 'return {"name": self.name, "knob": self.knob}'
+)
+RPL003_HASHING_CLEAN = RPL003_HASHING_BAD.replace(
+    'return {"name": spec.name}',
+    'return {"name": spec.name, "knob": getattr(spec, "knob", None)}',
+)
+
+
+def test_rpl003_flags_uncovered_field():
+    findings = lint_sources(
+        {
+            "src/repro/workloads/suite.py": RPL003_SUITE_BAD,
+            "src/repro/runtime/hashing.py": RPL003_HASHING_BAD,
+        },
+        checkers=[SpecCacheKeyChecker()],
+    )
+    assert len(findings) == 1
+    assert "'knob'" in findings[0].message
+    assert "signature()" in findings[0].message
+    assert "spec_signature()" in findings[0].message
+
+
+def test_rpl003_clean_twin_is_quiet():
+    findings = lint_sources(
+        {
+            "src/repro/workloads/suite.py": RPL003_SUITE_CLEAN,
+            "src/repro/runtime/hashing.py": RPL003_HASHING_CLEAN,
+        },
+        checkers=[SpecCacheKeyChecker()],
+    )
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# RPL004 - profiler-phase coverage
+# ---------------------------------------------------------------------------
+
+RPL004_FUNCTIONAL_BAD = """\
+from .. import profiling
+
+
+def group_norm(x):
+    return x
+
+
+def layer_norm(x):
+    prof = profiling.active()
+    if prof:
+        prof.add("mystery", 1.0)
+    return x
+
+
+def im2col(x):
+    prof = profiling.active()
+    if prof:
+        prof.add("im2col", 1.0)
+    return x
+
+
+def im2col_t(x):
+    prof = profiling.active()
+    if prof:
+        prof.add("im2col", 1.0)
+    return x
+"""
+
+RPL004_FUNCTIONAL_CLEAN = RPL004_FUNCTIONAL_BAD.replace(
+    "def group_norm(x):\n    return x",
+    'def group_norm(x):\n    prof = profiling.active()\n'
+    '    if prof:\n        prof.add("norm", 1.0)\n    return x',
+).replace('"mystery"', '"norm"')
+
+RPL004_GATES = "norm im2col calibration trajectory quantize"
+
+
+def _rpl004_project(functional_src):
+    return {
+        "src/repro/nn/functional.py": functional_src,
+        "src/repro/bench.py": f'"""{RPL004_GATES}"""\n',
+    }
+
+
+def test_rpl004_flags_unprofiled_entry_point_and_unknown_bucket():
+    findings = lint_sources(
+        _rpl004_project(RPL004_FUNCTIONAL_BAD),
+        aux={"scripts/check_bench.py": RPL004_GATES},
+        checkers=[ProfilerPhaseChecker()],
+    )
+    messages = "\n".join(f.message for f in findings)
+    assert "'group_norm'" in messages  # lost its hook
+    assert "'mystery'" in messages  # bucket unknown to both gate files
+    assert len([f for f in findings if "mystery" in f.message]) == 2
+
+
+def test_rpl004_clean_twin_is_quiet():
+    findings = lint_sources(
+        _rpl004_project(RPL004_FUNCTIONAL_CLEAN),
+        aux={"scripts/check_bench.py": RPL004_GATES},
+        checkers=[ProfilerPhaseChecker()],
+    )
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# RPL005 - GEMM layout discipline
+# ---------------------------------------------------------------------------
+
+RPL005_BAD = """\
+import numpy as np
+
+from ..nn import functional as F
+
+
+def run(cols, w, out_hw, a, b):
+    part = F.conv2d_from_cols_t(cols.T, w, out_hw)
+    return part + np.matmul(a, b.transpose(1, 0))
+"""
+
+RPL005_CLEAN = """\
+import numpy as np
+
+from ..nn import functional as F
+
+
+def run(cols, w, out_hw, a, b):
+    part = F.conv2d_from_cols_t(np.ascontiguousarray(cols.T), w, out_hw)
+    return part + np.matmul(a, np.ascontiguousarray(b.transpose(1, 0)))
+"""
+
+
+def test_rpl005_flags_strided_views_into_gemms():
+    findings = lint_sources({"src/repro/quant/bad.py": RPL005_BAD})
+    assert [f.rule for f in findings] == ["RPL005", "RPL005"]
+    assert "cols.T" in findings[0].message
+    assert "ascontiguousarray" in findings[0].message
+
+
+def test_rpl005_clean_twin_is_quiet():
+    assert lint_sources({"src/repro/quant/good.py": RPL005_CLEAN}) == []
+
+
+# ---------------------------------------------------------------------------
+# framework: suppression, baseline, CLI
+# ---------------------------------------------------------------------------
+
+
+def test_suppression_same_line():
+    source = RPL001_BAD.replace(
+        "return np.sqrt(a_bar) * x",
+        "return np.sqrt(a_bar) * x  # repro-lint: ignore[RPL001]",
+    )
+    assert lint_sources({"src/repro/diffusion/bad.py": source}) == []
+
+
+def test_suppression_own_line_covers_next():
+    source = RPL001_BAD.replace(
+        "    return np.sqrt(a_bar) * x",
+        "    # repro-lint: ignore[RPL001]\n    return np.sqrt(a_bar) * x",
+    )
+    assert lint_sources({"src/repro/diffusion/bad.py": source}) == []
+
+
+def test_suppression_wildcard_and_wrong_rule():
+    wildcard = RPL001_BAD.replace(
+        "return np.sqrt(a_bar) * x",
+        "return np.sqrt(a_bar) * x  # repro-lint: ignore[*]",
+    )
+    assert lint_sources({"src/repro/diffusion/bad.py": wildcard}) == []
+    wrong = RPL001_BAD.replace(
+        "return np.sqrt(a_bar) * x",
+        "return np.sqrt(a_bar) * x  # repro-lint: ignore[RPL005]",
+    )
+    assert len(lint_sources({"src/repro/diffusion/bad.py": wrong})) == 1
+
+
+def _write_tmp_repo(tmp_path, source=RPL001_BAD):
+    target = tmp_path / "src" / "repro" / "diffusion" / "bad.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(source)
+    return tmp_path
+
+
+def test_cli_exit_codes_and_json(tmp_path, capsys):
+    root = _write_tmp_repo(tmp_path)
+    report = tmp_path / "findings.json"
+    assert lint_main(["--root", str(root), "--json", str(report)]) == 1
+    payload = json.loads(report.read_text())
+    assert payload[0]["rule"] == "RPL001"
+    assert payload[0]["path"] == "src/repro/diffusion/bad.py"
+    out = capsys.readouterr().out
+    assert "RPL001" in out
+
+
+def test_cli_baseline_accepts_known_findings(tmp_path, capsys):
+    root = _write_tmp_repo(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    assert lint_main(["--root", str(root), "--baseline", str(baseline), "--write-baseline"]) == 0
+    assert lint_main(["--root", str(root), "--baseline", str(baseline)]) == 0
+    assert "baselined" in capsys.readouterr().out
+    # A fresh violation still fails against the old baseline.
+    extra = root / "src" / "repro" / "diffusion" / "worse.py"
+    extra.write_text(RPL001_BAD)
+    assert lint_main(["--root", str(root), "--baseline", str(baseline)]) == 1
+
+
+def test_cli_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005"):
+        assert rule in out
+
+
+def test_repro_cli_forwards_lint(capsys):
+    from repro.cli import main as cli_main
+
+    assert cli_main(["lint", "--list-rules"]) == 0
+    assert "RPL001" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# end to end: the repo itself is clean under all five checkers
+# ---------------------------------------------------------------------------
+
+
+def test_repo_is_clean():
+    assert len(default_checkers()) == 5
+    findings, new = run_lint(REPO_ROOT)
+    assert findings == [], "\n".join(str(f) for f in findings)
+    assert new == []
+
+
+def test_checker_classes_cover_five_rules():
+    rules = {
+        DtypePromotionChecker.rule,
+        TemporalStateRegistryChecker.rule,
+        SpecCacheKeyChecker.rule,
+        ProfilerPhaseChecker.rule,
+        GemmLayoutChecker.rule,
+    }
+    assert rules == {"RPL001", "RPL002", "RPL003", "RPL004", "RPL005"}

@@ -1,0 +1,119 @@
+"""Tests for the opt-in runtime numeric sanitizer (``repro.lint.runtime``)."""
+
+import numpy as np
+import pytest
+
+from repro.lint import runtime as lint_runtime
+from repro.nn import functional as F
+from repro.nn.layers import Linear
+from repro.quant.calibration import calibration_precision
+
+
+@pytest.fixture
+def sanitizer():
+    with lint_runtime.sanitized():
+        yield lint_runtime
+    assert not lint_runtime.installed()
+
+
+class _FakePipeline:
+    """The minimal surface ``calibration_precision`` touches."""
+
+    def __init__(self):
+        self.conditioning = {}
+        self.uncond_conditioning = {}
+        self._cond_cache = {}
+
+    def predict_noise(self, x, t):
+        return x
+
+
+def test_float64_trips_inside_f32_region(sanitizer):
+    x64 = np.ones((2, 3))
+    w32 = np.ones((4, 3), dtype=np.float32)
+    with sanitizer.calibration_region(np.float32):
+        with pytest.raises(sanitizer.SanitizerError, match="float64"):
+            F.linear(x64, w32)
+
+
+def test_float64_fine_outside_region(sanitizer):
+    out = F.linear(np.ones((2, 3)), np.ones((4, 3)))
+    assert out.dtype == np.float64
+
+
+def test_float32_fine_inside_region(sanitizer):
+    with sanitizer.calibration_region(np.float32):
+        out = F.linear(
+            np.ones((2, 3), dtype=np.float32), np.ones((4, 3), dtype=np.float32)
+        )
+    assert out.dtype == np.float32
+
+
+def test_norm_kernels_are_guarded(sanitizer):
+    x64 = np.ones((1, 4, 2, 2))
+    with sanitizer.calibration_region(np.float32):
+        with pytest.raises(sanitizer.SanitizerError):
+            F.group_norm(x64, 2)
+        with pytest.raises(sanitizer.SanitizerError):
+            F.layer_norm(np.ones((2, 8)))
+
+
+def test_noncontiguous_cols_trip(sanitizer):
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((1, 2, 4, 4))
+    w = rng.standard_normal((3, 2, 3, 3))
+    cols, out_hw = F.im2col(x, 3, 1, 1)
+    bad = np.asfortranarray(cols)
+    with pytest.raises(sanitizer.SanitizerError, match="non-C-contiguous"):
+        F.conv2d_from_cols(bad, w, out_hw)
+    # The contiguous original passes and matches the direct convolution.
+    good = F.conv2d_from_cols(cols, w, out_hw)
+    np.testing.assert_allclose(good, F.conv2d(x, w, None, 1, 1))
+
+
+def test_install_uninstall_restores_kernels():
+    originals = {name: getattr(F, name) for name in ("linear", "conv2d", "group_norm")}
+    lint_runtime.install()
+    try:
+        assert F.linear is not originals["linear"]
+        lint_runtime.install()  # idempotent
+    finally:
+        lint_runtime.uninstall()
+    for name, fn in originals.items():
+        assert getattr(F, name) is fn
+    lint_runtime.uninstall()  # idempotent on the uninstalled state too
+
+
+def test_enabled_env_parsing(monkeypatch):
+    for value, expected in [("1", True), ("true", True), ("", False), ("0", False)]:
+        monkeypatch.setenv("REPRO_SANITIZE", value)
+        assert lint_runtime.enabled() is expected
+    monkeypatch.delenv("REPRO_SANITIZE")
+    assert lint_runtime.enabled() is False
+
+
+def test_calibration_precision_marks_region():
+    model = Linear(4, 4)
+    pipeline = _FakePipeline()
+    assert lint_runtime.active_calibration_dtype() is None
+    with calibration_precision(model, pipeline, np.float32):
+        assert lint_runtime.active_calibration_dtype() == np.dtype(np.float32)
+    assert lint_runtime.active_calibration_dtype() is None
+
+
+def test_calibration_precision_float64_is_unmarked():
+    # The float64 escape hatch is a no-op and must not open a region.
+    with calibration_precision(Linear(4, 4), _FakePipeline(), np.float64):
+        assert lint_runtime.active_calibration_dtype() is None
+
+
+def test_sanitized_calibration_region_catches_injected_float64(sanitizer):
+    model = Linear(4, 4)
+    pipeline = _FakePipeline()
+    with calibration_precision(model, pipeline, np.float32):
+        # The context cast the weights; float32 activations flow cleanly...
+        out = model(np.ones((2, 4), dtype=np.float32))
+        assert out.dtype == np.float32
+        # ...but a float64 array sneaking to any kernel is caught.
+        with pytest.raises(sanitizer.SanitizerError):
+            model(np.ones((2, 4)))
