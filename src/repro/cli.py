@@ -21,7 +21,13 @@ Commands
     utilization, and temporal-mode MAC savings per batch size.
     ``--pool-budget-mb`` caps batch sizes by scratch-memory footprint;
     ``--verify`` asserts every request is bit-exact with its seeded
-    batch-1 reference.
+    batch-1 reference.  Fault tolerance (continuous scheduler):
+    ``--deadline``/``--slo`` set per-request/per-class latency targets,
+    ``--fault-spec`` (or ``$REPRO_FAULTS``) injects deterministic step
+    errors, kills, latency, cancellations, and cache corruption;
+    ``--max-retries`` bounds exact-replay retries and ``--no-recover``
+    disables crash recovery.  The report then carries per-class SLO
+    accounting (every request completed/cancelled/expired/failed).
 ``bench [BENCH ...]``
     Time the cold engine build+run and warm cache load per benchmark and
     batch size, and write machine-readable JSON (``--quick`` restricts to
@@ -177,6 +183,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-run one micro-batch request-by-request and assert bit-exactness",
     )
     serve_p.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        dest="deadline_s",
+        help="per-request completion deadline from arrival; expired rows "
+             "are evicted at step boundaries (continuous scheduler)",
+    )
+    serve_p.add_argument(
+        "--slo", default=None, metavar="SPEC",
+        help="per-class SLOs 'name:deadline[:weight],...' (empty/none "
+             "deadline = no target); requests are assigned to classes "
+             "weight-proportionally and reported per class",
+    )
+    serve_p.add_argument(
+        "--fault-spec", default=None, metavar="SPEC",
+        help="deterministic fault plan, e.g. "
+             "'error@req=1,step=2;kill@req=2,step=3;delay@req=5,step=1,"
+             "ms=30000' (default: $REPRO_FAULTS; see README 'Robustness & "
+             "failure model' for the grammar)",
+    )
+    serve_p.add_argument(
+        "--fault-seed", type=int, default=0, metavar="N",
+        help="seed for probabilistic (p=...) fault entries",
+    )
+    serve_p.add_argument(
+        "--max-retries", type=int, default=3, metavar="N",
+        help="exact-replay retries per step before the session is declared "
+             "unhealthy",
+    )
+    serve_p.add_argument(
+        "--no-recover", dest="recover", action="store_false", default=True,
+        help="disable crash recovery: a killed session fails its in-flight "
+             "requests instead of rebuilding and re-admitting them",
+    )
+    serve_p.add_argument(
         "--out", default=None, metavar="PATH",
         help="also write the serving report as JSON",
     )
@@ -229,7 +268,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint_p = sub.add_parser(
         "lint",
-        help="run the AST invariant checkers (RPL001-RPL005)",
+        help="run the AST invariant checkers (RPL001-RPL006)",
         add_help=False,
     )
     # All flags are owned by repro.lint.main (one source of truth); forward
@@ -334,6 +373,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pool_budget_mb=args.pool_budget_mb,
         sampler=args.sampler,
         sampler_eta=args.eta,
+        deadline_s=args.deadline_s,
+        slo=args.slo,
+        fault_spec=args.fault_spec,
+        fault_seed=args.fault_seed,
+        max_retries=args.max_retries,
+        recover=args.recover,
     )
     print(report.summary())
     if args.out:

@@ -26,6 +26,24 @@ is the serving invariance contract extended to arbitrary interleavings:
 Together: any interleaving of admissions and evictions is bit-exact with N
 seeded batch-1 runs (pinned by ``tests/test_batched_state.py``).
 
+The same algebra is what makes the fault-tolerance contract
+(:mod:`repro.runtime.faults`) provable rather than best-effort:
+
+* a failed :meth:`EngineSession.step` leaves the session exactly where it
+  was - the composition was committed *before* the forward (retried
+  forwards see a zero temporal diff), the latents are only assigned on
+  success, and every row's rng stream is rewound to its pre-step position -
+  so a retry is an exact replay;
+* :meth:`EngineSession.admit` accepts a ``step`` offset: a row re-admitted
+  into a *fresh* session at trajectory step k starts from zero state, and
+  the difference algebra makes its first step compute the dense result -
+  bit-exactly what the dead session would have computed.  Crash recovery is
+  therefore ``snapshot()`` + rebuild + re-admit, with no state migration;
+* an injected :class:`~repro.runtime.faults.SessionKilled` marks the
+  session unhealthy before propagating; an unhealthy session refuses
+  further admissions and steps, forcing the driver through the recovery
+  path instead of silently continuing on corrupt state.
+
 Sessions never record traces - they are the throughput path.  Multi-step
 samplers (PLMS, DPM-Solver++) keep whole-batch history and are rejected at
 session open.
@@ -98,6 +116,8 @@ class EngineSession:
         self._mapping: List[Optional[int]] = []
         self._tags = itertools.count()
         self._closed = False
+        self._healthy = True
+        self._unhealthy_reason = ""
         from ..quant.qlayers import reset_model_state, set_model_mode
 
         # Sticky scales must freeze batch-independently before any serving
@@ -116,6 +136,43 @@ class EngineSession:
     def tags(self) -> List[object]:
         return [row.tag for row in self._rows]
 
+    @property
+    def row_steps(self) -> List[int]:
+        """Each in-flight row's next step index, in row order."""
+        return [row.step for row in self._rows]
+
+    @property
+    def healthy(self) -> bool:
+        return self._healthy
+
+    @property
+    def unhealthy_reason(self) -> str:
+        return self._unhealthy_reason
+
+    def mark_unhealthy(self, reason: str) -> None:
+        """Declare the session failed: no more admissions or steps.
+
+        The rows (latents, step indices, rewound rng streams) stay readable
+        via :meth:`snapshot` so the driver can re-admit them into a fresh
+        session; only forward progress is refused.
+        """
+        self._healthy = False
+        self._unhealthy_reason = reason
+
+    def snapshot(self) -> List[Tuple[object, int, np.ndarray]]:
+        """Checkpoint every in-flight row: ``[(tag, next_step, x), ...]``.
+
+        The returned latents are copies, valid after :meth:`close`.  A
+        snapshotted row re-admitted at its recorded step into a fresh
+        session (same engine build) continues bit-exactly: admission starts
+        from zero temporal state and the difference algebra makes the first
+        step compute the dense result.
+        """
+        return [
+            (row.tag, row.step, self._x[pos : pos + 1].copy())
+            for pos, row in enumerate(self._rows)
+        ]
+
     def __enter__(self) -> "EngineSession":
         return self
 
@@ -128,16 +185,28 @@ class EngineSession:
         x_init: np.ndarray,
         rng: Optional[np.random.Generator] = None,
         tag: Optional[object] = None,
+        step: int = 0,
     ) -> object:
-        """Queue one request into the batch, starting at step 0.
+        """Queue one request into the batch, starting at step ``step``.
 
         ``x_init`` is the request's initial noise, shape ``sample_shape`` or
         ``(1, *sample_shape)``.  ``rng`` is the request's private sampler
         noise stream (required for stochastic samplers).  Returns the row's
         ``tag`` (auto-assigned if not given).  Takes effect at the next
         :meth:`step`.
+
+        ``step > 0`` is the crash-recovery path: ``x_init`` is then the
+        row's :meth:`snapshot` latent and ``rng`` its stream fast-forwarded
+        past the draws already spent.  Mid-trajectory admission is bit-exact
+        for the same reason step-0 admission is - the row starts from zero
+        temporal state and its first step computes the dense result.
         """
         self._check_open()
+        self._check_healthy()
+        if not 0 <= step < self.num_steps:
+            raise ValueError(
+                f"admission step must be in [0, {self.num_steps}), got {step}"
+            )
         if self.capacity is not None and len(self._rows) >= self.capacity:
             raise RuntimeError(
                 f"session is at capacity ({self.capacity} rows); evict or "
@@ -162,7 +231,7 @@ class EngineSession:
             tag = next(self._tags)
         elif any(row.tag == tag for row in self._rows):
             raise ValueError(f"tag {tag!r} is already in flight")
-        self._rows.append(_SessionRow(tag=tag, step=0, rng=rng))
+        self._rows.append(_SessionRow(tag=tag, step=step, rng=rng))
         self._x = np.concatenate([self._x, x], axis=0)
         self._mapping.append(None)
         return tag
@@ -192,11 +261,21 @@ class EngineSession:
         step and noise stream, and auto-evicts rows that completed their
         trajectory.  Returns ``[(tag, sample), ...]`` for the completed rows
         (sample shape ``(1, *sample_shape)``).
+
+        On failure the step is an exact no-op: the composition stays
+        committed (retried forwards are idempotent - zero temporal diff),
+        latents are untouched, and every row's rng stream is rewound past
+        any partial draws, so a retry replays the step bit-exactly.  An
+        ambient :class:`~repro.runtime.faults.FaultPlan` may inject an
+        error or a kill here; a kill marks the session unhealthy before
+        propagating.
         """
         from ..quant.qlayers import remap_model_rows, reset_model_state
         from ..quant.tdq import set_active_step
+        from ..runtime import faults
 
         self._check_open()
+        self._check_healthy()
         if not self._rows:
             raise RuntimeError("no in-flight rows; admit before stepping")
         engine = self.engine
@@ -229,12 +308,26 @@ class EngineSession:
         self._mapping = list(range(batch))
         steps = np.array([row.step for row in self._rows])
         t_rows = sampler.timesteps[steps].astype(np.float64)
+        # Snapshot every row's stream position before any draw: a failure
+        # after partial per-row draws (the sampler advances rows one at a
+        # time) must not leave the earlier rows' streams ahead of their
+        # batch-1 references on retry.
+        rng_states = [faults.capture_rng_state(row.rng) for row in self._rows]
         set_active_step(steps)
         try:
+            plan = faults.active()
+            if plan is not None:
+                plan.on_step_attempt([row.tag for row in self._rows], steps)
             eps = pipeline.predict_noise_rows(self._x, t_rows)
             x_new = sampler.step_rows(
                 eps, steps, self._x, [row.rng for row in self._rows]
             )
+        except BaseException as exc:
+            for row, state in zip(self._rows, rng_states):
+                faults.restore_rng_state(row.rng, state)
+            if isinstance(exc, faults.SessionKilled):
+                self.mark_unhealthy(str(exc) or "session killed")
+            raise
         finally:
             set_active_step(None)
         self._x = x_new
@@ -274,3 +367,10 @@ class EngineSession:
     def _check_open(self) -> None:
         if self._closed:
             raise RuntimeError("session is closed")
+
+    def _check_healthy(self) -> None:
+        if not self._healthy:
+            raise RuntimeError(
+                f"session is unhealthy ({self._unhealthy_reason}); snapshot "
+                "the rows, rebuild the engine, and re-admit"
+            )

@@ -1,6 +1,6 @@
 """``repro lint``: AST invariant checkers + runtime numeric sanitizer.
 
-Static side (``repro lint`` / ``python -m repro.lint``): five repo-specific
+Static side (``repro lint`` / ``python -m repro.lint``): six repo-specific
 rules over ``src/repro`` - see :mod:`repro.lint.checkers` for the contracts
 and README "Invariants & static checks" for the rule table.  Exit status is
 0 when the repo is clean (modulo baseline), 1 otherwise.
@@ -49,7 +49,7 @@ def _default_root() -> Path:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro lint",
-        description="Run the repo's AST invariant checkers (RPL001-RPL005).",
+        description="Run the repo's AST invariant checkers (RPL001-RPL006).",
     )
     parser.add_argument(
         "--root",

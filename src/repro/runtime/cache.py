@@ -96,6 +96,14 @@ class ResultCache:
         if not path.exists():
             self.stats.misses += 1
             return None
+        from . import faults
+
+        plan = faults.active()
+        if plan is not None and plan.corrupt_cache_read():
+            # Deterministic fault injection: scribble over the entry so this
+            # very read exercises the corrupted-entry path below (drop,
+            # report a miss, recompute) instead of a synthetic unit test.
+            path.write_bytes(b"repro fault injection: corrupted entry")
         try:
             value = load_pickle(path)
         except Exception:

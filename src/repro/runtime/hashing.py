@@ -33,6 +33,7 @@ __all__ = [
     "stable_hash",
     "spec_signature",
     "engine_key",
+    "engine_build_key",
     "similarity_key",
 ]
 
@@ -164,6 +165,43 @@ def engine_key(
             "seed": seed,
             "batch_size": batch_size,
             "guidance_scale": guidance_scale,
+            "calibration_dtype": str(resolved_cal_dtype),
+        }
+    )
+
+
+def engine_build_key(
+    spec,
+    num_steps: Optional[int] = None,
+    calibrate: bool = True,
+    calibration_seed: int = 11,
+    step_clusters: int = 1,
+    guidance_scale: Optional[float] = None,
+    sampler: Optional[str] = None,
+    sampler_eta: Optional[float] = None,
+    calibration_dtype: Optional[str] = None,
+) -> str:
+    """Cache key for one built :class:`DittoEngine` *object*.
+
+    Distinct from :func:`engine_key`: no run parameters (seed/batch size) -
+    the engine build is what crash recovery reloads, and the same build
+    serves any run.  Carries the sampler override because
+    ``DittoEngine.from_benchmark`` accepts one (the run-result key predates
+    that axis and never passes it).
+    """
+    resolved_cal_dtype = resolve_calibration_dtype(spec, calibration_dtype)
+    return stable_hash(
+        {
+            "kind": "engine_build",
+            "code": code_fingerprint(),
+            "spec": spec_signature(spec),
+            "num_steps": num_steps,
+            "calibrate": calibrate,
+            "calibration_seed": calibration_seed,
+            "step_clusters": step_clusters,
+            "guidance_scale": guidance_scale,
+            "sampler": sampler,
+            "sampler_eta": sampler_eta,
             "calibration_dtype": str(resolved_cal_dtype),
         }
     )

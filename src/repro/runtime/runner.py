@@ -34,7 +34,7 @@ import numpy as np
 from ..core.engine import DittoEngine, EngineResult
 from ..core.similarity import SimilarityReport, similarity_report
 from .cache import CacheStats, ResultCache, default_cache_dir
-from .hashing import engine_key, similarity_key
+from .hashing import engine_build_key, engine_key, similarity_key
 
 __all__ = ["EngineRunner", "SIMILARITY_MAX_STEPS", "normalize_batch_sizes"]
 
@@ -196,6 +196,64 @@ class EngineRunner:
             "calibration_dtype": calibration_dtype,
         }
         return _run_one("engine", spec_or_name, params, self._cache)[1]
+
+    def build_engine(
+        self,
+        spec_or_name: SpecOrName,
+        num_steps: Optional[int] = None,
+        calibrate: bool = True,
+        calibration_seed: int = 11,
+        step_clusters: int = 1,
+        guidance_scale: Optional[float] = None,
+        sampler: Optional[str] = None,
+        sampler_eta: Optional[float] = None,
+        calibration_dtype: Optional[str] = None,
+    ) -> DittoEngine:
+        """One cached engine *build* (quantization + calibration, no run).
+
+        This is the crash-recovery path of the serving tier: rebuilding a
+        killed session's engine must be fast, so the built
+        :class:`DittoEngine` object itself is stored in the
+        content-addressed cache (engines are plain numpy + pure-Python
+        state, so they pickle; the key carries the source fingerprint and
+        every build parameter).  Builds are deterministic given the
+        calibration seed, so a cache miss rebuilds bit-identically - the
+        cache only buys warmth, never correctness.
+        """
+        spec = _resolve_spec(spec_or_name)
+        resolved_steps = num_steps if num_steps is not None else spec.num_steps
+        key = engine_build_key(
+            spec,
+            num_steps=resolved_steps,
+            calibrate=calibrate,
+            calibration_seed=calibration_seed,
+            step_clusters=step_clusters,
+            guidance_scale=guidance_scale,
+            sampler=sampler,
+            sampler_eta=sampler_eta,
+            calibration_dtype=calibration_dtype,
+        )
+        engine = self._cache.get(key)
+        if engine is None:
+            engine = DittoEngine.from_benchmark(
+                spec,
+                num_steps=resolved_steps,
+                calibrate=calibrate,
+                calibration_seed=calibration_seed,
+                step_clusters=step_clusters,
+                guidance_scale=guidance_scale,
+                sampler=sampler,
+                sampler_eta=sampler_eta,
+                calibration_dtype=calibration_dtype,
+            )
+            try:
+                self._cache.put(key, engine)
+            except Exception:
+                # An unpicklable custom spec (e.g. a closure-built model)
+                # cannot be cached, but the freshly built engine still
+                # serves; recovery then cold-rebuilds instead of reloading.
+                pass
+        return engine
 
     def run_batch_sizes(
         self,

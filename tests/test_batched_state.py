@@ -427,6 +427,48 @@ def test_session_step_retry_after_failure_keeps_rows_exact():
         np.testing.assert_array_equal(out[i], reference)
 
 
+def test_step_failure_after_partial_draws_keeps_streams_exact():
+    """A step that raises after SOME rows already drew posterior noise must
+    rewind every row's stream before propagating: the sampler advances rows
+    one at a time, so a third-row failure leaves rows 0-1 one draw ahead of
+    their batch-1 references - a retry without the rewind would silently
+    desynchronize the survivors."""
+    engine = _ddpm_engine()
+    noises = [
+        np.random.default_rng(110 + i).standard_normal(
+            (1,) + engine.pipeline.sample_shape
+        )
+        for i in range(3)
+    ]
+    out = {}
+    with engine.open_session() as session:
+        for i in range(3):
+            session.admit(noises[i], rng=_stream(i), tag=i)
+        sampler = engine.pipeline.sampler
+        real_step = sampler.step
+        calls = {"n": 0}
+
+        def flaky_step(eps, index, x, rng=None):
+            calls["n"] += 1
+            if calls["n"] == 3:
+                sampler.step = real_step
+                raise RuntimeError("died after rows 0-1 drew")
+            return real_step(eps, index, x, rng=rng)
+
+        sampler.step = flaky_step
+        with pytest.raises(RuntimeError, match="died after"):
+            session.step()
+        assert calls["n"] == 3  # rows 0 and 1 really drew before the failure
+        assert session.healthy  # transient failure, not a kill
+        out.update(session.run_to_completion())  # retry replays exactly
+    assert sorted(out) == [0, 1, 2]
+    for i in range(3):
+        reference = engine.run(
+            x_init=noises[i], record_trace=False, rngs=[_stream(i)]
+        ).samples
+        np.testing.assert_array_equal(out[i], reference)
+
+
 def test_conv_state_nbytes_dedupes_aliased_cols():
     """_prev_cols aliases one of the im2col ping-pong buffers after a
     forward; the measured footprint must count that memory once (the pool

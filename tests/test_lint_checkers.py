@@ -1,4 +1,4 @@
-"""Checker-level tests for ``repro lint`` (RPL001-RPL005).
+"""Checker-level tests for ``repro lint`` (RPL001-RPL006).
 
 Each rule gets a violating fixture proving it fires and a clean twin proving
 it stays quiet, plus framework tests (suppression, baseline, CLI) and the
@@ -15,6 +15,7 @@ from repro.lint.checkers import (
     GemmLayoutChecker,
     ProfilerPhaseChecker,
     SpecCacheKeyChecker,
+    SwallowedExceptionChecker,
     TemporalStateRegistryChecker,
 )
 
@@ -307,6 +308,63 @@ def test_rpl005_clean_twin_is_quiet():
 
 
 # ---------------------------------------------------------------------------
+# RPL006 - swallowed exceptions in the serving stack
+# ---------------------------------------------------------------------------
+
+RPL006_BAD = """\
+def step(session):
+    try:
+        session.forward()
+    except ValueError:
+        pass
+    try:
+        session.forward()
+    except Exception as exc:
+        log(exc)
+"""
+
+RPL006_CLEAN = """\
+def step(session):
+    try:
+        session.forward()
+    except ValueError:
+        raise
+    try:
+        session.forward()
+    except Exception as exc:
+        session.mark_unhealthy(str(exc))
+    try:
+        session.forward()
+    except RuntimeError:
+        if not session.healthy:
+            return None
+    try:
+        session.forward()
+    except OSError:  # terminal by design  # repro-lint: ignore[RPL006]
+        log("gone")
+"""
+
+
+def test_rpl006_flags_swallowed_exceptions():
+    findings = lint_sources({"src/repro/core/session.py": RPL006_BAD})
+    assert [f.rule for f in findings] == ["RPL006", "RPL006"]
+    assert "swallows the exception" in findings[0].message
+    assert "ValueError" in findings[0].message
+    assert "ignore[RPL006]" in findings[0].message
+
+
+def test_rpl006_clean_twin_is_quiet():
+    assert lint_sources({"src/repro/runtime/serving.py": RPL006_CLEAN}) == []
+
+
+def test_rpl006_only_applies_to_serving_stack():
+    # The same swallowing handler elsewhere is out of scope: RPL006 guards
+    # the session-health contract, not general exception hygiene.
+    assert lint_sources({"src/repro/runtime/runner.py": RPL006_BAD}) == []
+    assert lint_sources({"src/repro/diffusion/samplers.py": RPL006_BAD}) == []
+
+
+# ---------------------------------------------------------------------------
 # framework: suppression, baseline, CLI
 # ---------------------------------------------------------------------------
 
@@ -373,7 +431,7 @@ def test_cli_baseline_accepts_known_findings(tmp_path, capsys):
 def test_cli_list_rules(capsys):
     assert lint_main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule in ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005"):
+    for rule in ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL006"):
         assert rule in out
 
 
@@ -385,23 +443,24 @@ def test_repro_cli_forwards_lint(capsys):
 
 
 # ---------------------------------------------------------------------------
-# end to end: the repo itself is clean under all five checkers
+# end to end: the repo itself is clean under all six checkers
 # ---------------------------------------------------------------------------
 
 
 def test_repo_is_clean():
-    assert len(default_checkers()) == 5
+    assert len(default_checkers()) == 6
     findings, new = run_lint(REPO_ROOT)
     assert findings == [], "\n".join(str(f) for f in findings)
     assert new == []
 
 
-def test_checker_classes_cover_five_rules():
+def test_checker_classes_cover_six_rules():
     rules = {
         DtypePromotionChecker.rule,
         TemporalStateRegistryChecker.rule,
         SpecCacheKeyChecker.rule,
         ProfilerPhaseChecker.rule,
         GemmLayoutChecker.rule,
+        SwallowedExceptionChecker.rule,
     }
-    assert rules == {"RPL001", "RPL002", "RPL003", "RPL004", "RPL005"}
+    assert rules == {"RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL006"}

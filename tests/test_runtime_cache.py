@@ -11,6 +11,7 @@ from repro.runtime import (
     ResultCache,
     callable_fingerprint,
     code_fingerprint,
+    engine_build_key,
     engine_key,
     similarity_key,
     spec_signature,
@@ -100,6 +101,19 @@ def test_engine_key_sensitivity():
     assert base != engine_key(spec, num_steps=8, seed=0, calibration_seed=12)
     assert base != engine_key(get_benchmark("BED"), num_steps=8, seed=0)
     assert base != similarity_key(spec, num_steps=8)
+
+
+def test_engine_build_key_sensitivity():
+    """The engine-*object* key crash recovery warms from: no run params
+    (seed/batch size), but the sampler override axis engine_key lacks."""
+    spec = get_benchmark("DDPM")
+    base = engine_build_key(spec, num_steps=8)
+    assert base == engine_build_key(spec, num_steps=8)
+    assert base != engine_build_key(spec, num_steps=9)
+    assert base != engine_build_key(spec, num_steps=8, sampler="ddpm")
+    assert base != engine_build_key(spec, num_steps=8, sampler_eta=0.5)
+    assert base != engine_build_key(spec, num_steps=8, calibrate=False)
+    assert base != engine_key(spec, num_steps=8)  # distinct key namespace
 
 
 def test_custom_spec_signature_is_stable():

@@ -28,6 +28,31 @@ def test_run_benchmark_miss_then_hit(runner):
     assert len(second.rich_trace) == len(first.rich_trace)
 
 
+def test_build_engine_caches_engine_objects(runner):
+    """Crash recovery's warm path: the second build of the same spec loads
+    the pickled DittoEngine instead of requantizing, and the rebuilt engine
+    reproduces the original's samples bit-exactly."""
+    spec = make_tiny_spec()
+    first = runner.build_engine(spec, calibrate=False)
+    assert runner.stats.misses == 1
+    assert runner.stats.stores == 1
+    second = runner.build_engine(spec, calibrate=False)
+    assert runner.stats.hits == 1
+    assert second is not first  # a fresh unpickled object, not the same one
+    np.testing.assert_array_equal(
+        first.run(record_trace=False, seed=4).samples,
+        second.run(record_trace=False, seed=4).samples,
+    )
+    # A different build configuration misses.
+    runner.build_engine(spec, calibrate=False, sampler="ddpm")
+    assert runner.stats.misses == 2
+
+
+def test_build_engine_resolves_names_and_steps(runner):
+    engine = runner.build_engine("DDPM", num_steps=2, calibrate=False)
+    assert len(engine.pipeline.sampler.timesteps) == 2
+
+
 def test_second_session_skips_engine_reconstruction(tmp_path):
     """A fresh runner over the same cache dir models a second sweep/session."""
     spec = make_tiny_spec()

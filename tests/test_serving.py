@@ -341,6 +341,27 @@ def test_row_footprint_measured_positive():
         pool_budget_row_cap(engine, 0.0)
 
 
+def test_pool_budget_refusal_names_footprint_and_floor():
+    """The refusal must be actionable: it reports the measured per-row
+    footprint (MB and bytes) AND the smallest --pool-budget-mb that would
+    admit one row - and that suggestion must actually work."""
+    import math
+
+    from repro.core import DittoEngine
+
+    engine = DittoEngine.from_benchmark(
+        make_tiny_spec("tinyFloor", num_steps=2), calibrate=False
+    )
+    row_bytes = estimate_row_footprint(engine)
+    min_mb = math.ceil(row_bytes / 2**20 * 100.0) / 100.0
+    with pytest.raises(ValueError) as err:
+        pool_budget_row_cap(engine, row_bytes / 2**20 / 4.0)
+    message = str(err.value)
+    assert f"{row_bytes / 2**20:.2f} MB = {row_bytes} bytes" in message
+    assert f"pass --pool-budget-mb {min_mb:.2f} or more" in message
+    assert pool_budget_row_cap(engine, min_mb) >= 1
+
+
 def test_pool_budget_caps_batch_sizes():
     from repro.core import DittoEngine
 
