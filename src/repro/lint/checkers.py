@@ -2,7 +2,9 @@
 
 Each rule encodes a contract that a past PR violated by hand before being
 fixed by inspection; see README "Invariants & static checks" for the full
-contract table and suppression instructions.
+contract table and suppression instructions.  The dataflow-backed rules
+(RPL007-RPL010) live in :mod:`repro.lint.dataflow.rules`;
+:func:`default_checkers` returns all ten.
 """
 
 from __future__ import annotations
@@ -146,12 +148,31 @@ def _annotation_is_array(node: Optional[ast.AST]) -> bool:
 
 
 class DtypePromotionChecker(Checker):
-    """RPL001: ``np.<math>(scalar)`` in hot modules promotes f32 arrays."""
+    """RPL001: ``np.<math>(scalar)`` in hot modules promotes f32 arrays.
+
+    Dataflow-backed since the RPL007-RPL010 engine landed: the local
+    name-evidence heuristic is refined by the interprocedural abstract
+    interpreter, so an argument produced by a helper that provably returns an
+    ndarray no longer trips the rule (and provably-scalar arguments flag even
+    when a same-named array exists in scope).  Rule ID and messages are
+    unchanged, so existing baselines and suppressions keep working.
+    """
 
     rule = "RPL001"
     title = "numpy float64 scalar leaking into hot-path array arithmetic"
 
-    def check_file(self, handle: SourceFile) -> Iterable[Finding]:
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        from .dataflow.rules import engine_for
+
+        engine = engine_for(project)
+        findings: List[Finding] = []
+        for handle in project.files.values():
+            if handle.scope not in self.scopes:
+                continue
+            findings.extend(self._check_handle(handle, engine))
+        return findings
+
+    def _check_handle(self, handle: SourceFile, engine=None) -> List[Finding]:
         if not _HOT_DIR_RE.search(handle.rel_path):
             return []
         _annotate_parents(handle.tree)
@@ -165,7 +186,7 @@ class DtypePromotionChecker(Checker):
                     # Don't descend into nested function scopes twice.
                     if self._enclosing_scope(call) is not scope_node:
                         continue
-                    finding = self._check_call(call, info, handle)
+                    finding = self._check_call(call, info, handle, engine)
                     if finding is not None:
                         findings.append(finding)
         return findings
@@ -224,7 +245,7 @@ class DtypePromotionChecker(Checker):
     # -- the actual check --------------------------------------------------
 
     def _check_call(
-        self, call: ast.Call, info: _ScopeInfo, handle: SourceFile
+        self, call: ast.Call, info: _ScopeInfo, handle: SourceFile, engine=None
     ) -> Optional[Finding]:
         if not _is_numpy_call(call, _SCALAR_MATH_FNS):
             return None
@@ -239,10 +260,24 @@ class DtypePromotionChecker(Checker):
             and parent.func.id == "float"
         ):
             return None
+        # Dataflow refinement: positive array evidence on any argument (e.g.
+        # a helper whose summary provably returns an ndarray) means the dtype
+        # follows the array - fine even when no local name evidence exists.
+        if engine is not None and any(
+            engine.value_of(arg).array is True for arg in call.args
+        ):
+            return None
         # Any array evidence in the arguments means the result is an array
         # and dtype follows the input - fine.
         if any(self._is_arrayish(arg, info) for arg in call.args):
-            return None
+            # ... unless the dataflow engine proves every argument scalar
+            # (a same-named scalar shadowing an array, a scalar helper).
+            if not (
+                engine is not None
+                and call.args
+                and all(engine.value_of(arg).array is False for arg in call.args)
+            ):
+                return None
         fn = call.func.attr  # type: ignore[union-attr]
         return Finding(
             path=handle.rel_path,
@@ -646,6 +681,20 @@ _GEMM_SINKS = {"conv2d_from_cols", "conv2d_from_cols_t", "linear", "matmul", "do
 _VIEW_METHODS = {"transpose", "swapaxes", "reshape"}
 
 
+def is_direct_strided_view(node: ast.AST) -> bool:
+    """Syntactic ``.T`` / ``.transpose()`` / ``.reshape()`` view expression.
+
+    Shared with RPL008 so the flow-sensitive rule skips exactly the operands
+    the direct rule already owns (one finding per defect, stable rule IDs).
+    """
+    if isinstance(node, ast.Attribute) and node.attr == "T":
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr in _VIEW_METHODS:
+            return True
+    return False
+
+
 class GemmLayoutChecker(Checker):
     """RPL005: no transposed/reshaped views straight into the GEMM kernels.
 
@@ -659,7 +708,18 @@ class GemmLayoutChecker(Checker):
     rule = "RPL005"
     title = "strided view fed directly into an exact-f32 GEMM call site"
 
-    def check_file(self, handle: SourceFile) -> Iterable[Finding]:
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        from .dataflow.rules import engine_for
+
+        engine = engine_for(project)
+        findings: List[Finding] = []
+        for handle in project.files.values():
+            if handle.scope not in self.scopes:
+                continue
+            findings.extend(self._check_handle(handle, engine))
+        return findings
+
+    def _check_handle(self, handle: SourceFile, engine=None) -> List[Finding]:
         if not _GEMM_DIR_RE.search(handle.rel_path):
             return []
         findings: List[Finding] = []
@@ -674,6 +734,16 @@ class GemmLayoutChecker(Checker):
             n_args = 2 if callee in {"matmul", "dot"} else 1
             for arg in node.args[:n_args]:
                 if self._is_strided_view(arg):
+                    # Dataflow refinement: reshape of a provably C-contiguous
+                    # base is itself C-contiguous - no copy, no strided view.
+                    if (
+                        engine is not None
+                        and isinstance(arg, ast.Call)
+                        and isinstance(arg.func, ast.Attribute)
+                        and arg.func.attr == "reshape"
+                        and engine.value_of(arg.func.value).is_contig
+                    ):
+                        continue
                     findings.append(
                         Finding(
                             path=handle.rel_path,
@@ -689,12 +759,7 @@ class GemmLayoutChecker(Checker):
         return findings
 
     def _is_strided_view(self, node: ast.AST) -> bool:
-        if isinstance(node, ast.Attribute) and node.attr == "T":
-            return True
-        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
-            if node.func.attr in _VIEW_METHODS:
-                return True
-        return False
+        return is_direct_strided_view(node)
 
 
 # ---------------------------------------------------------------------------
@@ -762,6 +827,14 @@ class SwallowedExceptionChecker(Checker):
 
 
 def default_checkers() -> List[Checker]:
+    # Imported lazily: dataflow.rules imports the sink sets from this module.
+    from .dataflow.rules import (
+        DtypeFlowChecker,
+        LayoutFlowChecker,
+        RngStreamChecker,
+        SessionLifecycleChecker,
+    )
+
     return [
         DtypePromotionChecker(),
         TemporalStateRegistryChecker(),
@@ -769,4 +842,8 @@ def default_checkers() -> List[Checker]:
         ProfilerPhaseChecker(),
         GemmLayoutChecker(),
         SwallowedExceptionChecker(),
+        DtypeFlowChecker(),
+        LayoutFlowChecker(),
+        RngStreamChecker(),
+        SessionLifecycleChecker(),
     ]

@@ -1,0 +1,38 @@
+"""Interprocedural dataflow engine behind the RPL007-RPL010 lint rules.
+
+Layout:
+
+* :mod:`~repro.lint.dataflow.lattice` - the dtype/layout/provenance product
+  lattice (:class:`AbstractValue`, evidence-based joins).
+* :mod:`~repro.lint.dataflow.callgraph` - import-aware whole-program call
+  resolution over the lint :class:`~repro.lint.framework.Project`.
+* :mod:`~repro.lint.dataflow.interp` - the per-function flow-sensitive
+  abstract interpreter plus the context-insensitive interprocedural fixed
+  point (:class:`DataflowEngine`).
+* :mod:`~repro.lint.dataflow.rules` - the checkers built on top, plus
+  :func:`engine_for` (one shared engine per lint run).
+"""
+
+from .callgraph import CallGraph, FunctionInfo
+from .interp import DataflowEngine, Summary
+from .lattice import AbstractValue
+from .rules import (
+    DtypeFlowChecker,
+    LayoutFlowChecker,
+    RngStreamChecker,
+    SessionLifecycleChecker,
+    engine_for,
+)
+
+__all__ = [
+    "AbstractValue",
+    "CallGraph",
+    "FunctionInfo",
+    "DataflowEngine",
+    "Summary",
+    "engine_for",
+    "DtypeFlowChecker",
+    "LayoutFlowChecker",
+    "RngStreamChecker",
+    "SessionLifecycleChecker",
+]

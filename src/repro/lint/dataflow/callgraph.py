@@ -1,0 +1,294 @@
+"""Whole-program call graph over the lintable sources.
+
+Builds, per file, an import table (alias -> module file or imported object)
+and an index of module-level functions and class methods, then resolves call
+expressions to :class:`FunctionInfo` targets:
+
+* ``helper(...)`` - a module-level function in the same file, or a
+  ``from .mod import helper`` import.
+* ``F.linear(...)`` - ``F`` is an imported module alias; ``linear`` is a
+  module-level function there.
+* ``self.step(...)`` - a method in the lexically-enclosing class or its
+  locally-resolvable bases (same file, or imported base classes).
+
+Anything else (calls on arbitrary objects, ``Module.__call__`` indirection,
+``getattr`` dynamism) resolves to ``None`` - the interpreter treats such
+calls as opaque, which keeps the analysis conservative-quiet rather than
+conservative-loud.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..framework import Project, SourceFile
+
+__all__ = ["FunctionInfo", "ModuleInfo", "CallGraph"]
+
+_NUMPY = ("numpy",)  # sentinel import target
+
+
+@dataclass
+class FunctionInfo:
+    """One analyzable function or method."""
+
+    qualname: str  # "path::name" or "path::Class.name"
+    path: str
+    name: str
+    class_name: Optional[str]
+    node: ast.FunctionDef
+    handle: SourceFile
+
+
+@dataclass
+class ModuleInfo:
+    path: str
+    handle: SourceFile
+    # alias -> ("module", path) | ("object", path, name) | ("numpy",)
+    imports: Dict[str, Tuple] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ast.ClassDef] = field(default_factory=dict)
+    methods: Dict[Tuple[str, str], FunctionInfo] = field(default_factory=dict)
+
+
+def _module_key(rel_path: str) -> str:
+    """src/repro/nn/functional.py -> repro.nn.functional (best effort)."""
+    path = rel_path[:-3] if rel_path.endswith(".py") else rel_path
+    parts = [p for p in path.split("/") if p not in ("src", "")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+class CallGraph:
+    """Import-aware call resolution over a lint :class:`Project`."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self._by_module_key: Dict[str, str] = {}
+        for path, handle in project.files.items():
+            self._by_module_key[_module_key(path)] = path
+        for path, handle in project.files.items():
+            self.modules[path] = self._scan_module(path, handle)
+
+    # -- module scanning ---------------------------------------------------
+
+    def _scan_module(self, path: str, handle: SourceFile) -> ModuleInfo:
+        mod = ModuleInfo(path=path, handle=handle)
+        for node in ast.walk(handle.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    target = self._resolve_absolute(alias.name)
+                    if target is not None:
+                        mod.imports[alias.asname or alias.name.split(".")[0]] = target
+            elif isinstance(node, ast.ImportFrom):
+                base = self._resolve_from_base(path, node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    if base == _NUMPY:
+                        mod.imports[bound] = _NUMPY
+                        continue
+                    # `from pkg import mod` binds a submodule if one exists,
+                    # otherwise an object defined in pkg/__init__ (or pkg.py).
+                    sub = self._submodule(base[1], alias.name)
+                    if sub is not None:
+                        mod.imports[bound] = ("module", sub)
+                    else:
+                        mod.imports[bound] = ("object", base[1], alias.name)
+        for node in handle.tree.body:
+            if isinstance(node, ast.FunctionDef):
+                info = FunctionInfo(
+                    qualname=f"{path}::{node.name}",
+                    path=path,
+                    name=node.name,
+                    class_name=None,
+                    node=node,
+                    handle=handle,
+                )
+                mod.functions[node.name] = info
+                self.functions[info.qualname] = info
+            elif isinstance(node, ast.ClassDef):
+                mod.classes[node.name] = node
+                for item in node.body:
+                    if isinstance(item, ast.FunctionDef):
+                        info = FunctionInfo(
+                            qualname=f"{path}::{node.name}.{item.name}",
+                            path=path,
+                            name=item.name,
+                            class_name=node.name,
+                            node=item,
+                            handle=handle,
+                        )
+                        mod.methods[(node.name, item.name)] = info
+                        self.functions[info.qualname] = info
+        return mod
+
+    def _resolve_absolute(self, dotted: str) -> Optional[Tuple]:
+        if dotted == "numpy" or dotted.startswith("numpy."):
+            return _NUMPY
+        path = self._by_module_key.get(dotted)
+        if path is not None:
+            return ("module", path)
+        return None
+
+    def _resolve_from_base(self, path: str, node: ast.ImportFrom) -> Optional[Tuple]:
+        """The package/module an ImportFrom pulls names out of."""
+        if node.level == 0:
+            if node.module is None:
+                return None
+            if node.module == "numpy" or node.module.startswith("numpy."):
+                return _NUMPY
+            target = self._by_module_key.get(node.module)
+            return ("module", target) if target is not None else None
+        # Relative: climb `level` packages up from the importing file.
+        parts = path.split("/")[:-1]  # directory of the importing module
+        up = node.level - 1
+        if up > len(parts):
+            return None
+        parts = parts[: len(parts) - up] if up else parts
+        if node.module:
+            parts = parts + node.module.split(".")
+        key = _module_key("/".join(parts) + ".py")
+        # The base may be a package (dir) rather than a module file; either
+        # works because _submodule probes file paths directly.
+        target = self._by_module_key.get(key)
+        if target is not None:
+            return ("module", target)
+        return ("package", "/".join(parts))
+
+    def _submodule(self, base: str, name: str) -> Optional[str]:
+        """Resolve `from <base> import <name>` where name is a submodule."""
+        if base.endswith("/__init__.py"):
+            base = base[: -len("/__init__.py")]
+        elif base.endswith(".py"):
+            return None  # plain module: names are objects, not submodules
+        for candidate in (f"{base}/{name}.py", f"{base}/{name}/__init__.py"):
+            if candidate in self.project.files:
+                return candidate
+        return None
+
+    # -- call resolution ---------------------------------------------------
+
+    def module(self, path: str) -> Optional[ModuleInfo]:
+        return self.modules.get(path)
+
+    def resolve_method(self, path: str, class_name: str, attr: str) -> Optional[FunctionInfo]:
+        """Look up a method through the locally-resolvable MRO."""
+        seen = set()
+        stack = [(path, class_name)]
+        while stack:
+            mod_path, cls_name = stack.pop(0)
+            if (mod_path, cls_name) in seen:
+                continue
+            seen.add((mod_path, cls_name))
+            mod = self.modules.get(mod_path)
+            if mod is None:
+                continue
+            info = mod.methods.get((cls_name, attr))
+            if info is not None:
+                return info
+            cls = mod.classes.get(cls_name)
+            if cls is None:
+                continue
+            for base in cls.bases:
+                if isinstance(base, ast.Name):
+                    if base.id in mod.classes:
+                        stack.append((mod_path, base.id))
+                    else:
+                        target = mod.imports.get(base.id)
+                        if target is not None and target[0] == "object":
+                            stack.append((target[1], target[2]))
+                elif isinstance(base, ast.Attribute) and isinstance(base.value, ast.Name):
+                    target = mod.imports.get(base.value.id)
+                    if target is not None and target[0] == "module":
+                        stack.append((target[1], base.attr))
+        return None
+
+    def resolve_virtual(self, path: str, class_name: str, attr: str) -> List[FunctionInfo]:
+        """``self.attr(...)`` targets, including same-module subclass overrides.
+
+        A base-class method calling ``self.step(...)`` dispatches to whichever
+        subclass the instance is - even when the base defines the method only
+        to raise ``NotImplementedError``.  Every override in a same-module
+        subclass is a possible target, and the fixed point joins call-site
+        bindings into all of them.
+        """
+        out: List[FunctionInfo] = []
+        direct = self.resolve_method(path, class_name, attr)
+        if direct is not None:
+            out.append(direct)
+        mod = self.modules.get(path)
+        if mod is None:
+            return out
+        for (cls_name, name), info in mod.methods.items():
+            if (
+                name == attr
+                and info is not direct
+                and cls_name != class_name
+                and self._derives_from(mod, cls_name, class_name)
+            ):
+                out.append(info)
+        return out
+
+    def _derives_from(self, mod: ModuleInfo, cls_name: str, base_name: str) -> bool:
+        seen: set = set()
+        stack = [cls_name]
+        while stack:
+            current = stack.pop()
+            if current == base_name:
+                return True
+            if current in seen:
+                continue
+            seen.add(current)
+            cls = mod.classes.get(current)
+            if cls is None:
+                continue
+            for base in cls.bases:
+                if isinstance(base, ast.Name):
+                    stack.append(base.id)
+        return False
+
+    def is_numpy_alias(self, path: str, name: str) -> bool:
+        mod = self.modules.get(path)
+        return bool(mod) and mod.imports.get(name) == _NUMPY
+
+    def resolve_call(
+        self, call: ast.Call, path: str, class_name: Optional[str]
+    ) -> Optional[FunctionInfo]:
+        mod = self.modules.get(path)
+        if mod is None:
+            return None
+        func = call.func
+        if isinstance(func, ast.Name):
+            local = mod.functions.get(func.id)
+            if local is not None:
+                return local
+            target = mod.imports.get(func.id)
+            if target is not None and target[0] == "object":
+                other = self.modules.get(target[1])
+                if other is not None:
+                    hit = other.functions.get(target[2])
+                    if hit is not None:
+                        return hit
+                    # `from .mod import Class` used as a constructor.
+                    if target[2] in other.classes:
+                        return other.methods.get((target[2], "__init__"))
+            if func.id in mod.classes:
+                return mod.methods.get((func.id, "__init__"))
+            return None
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            base = func.value.id
+            if base == "self" and class_name is not None:
+                return self.resolve_method(path, class_name, func.attr)
+            target = mod.imports.get(base)
+            if target is not None and target[0] == "module":
+                other = self.modules.get(target[1])
+                if other is not None:
+                    return other.functions.get(func.attr)
+        return None

@@ -1,0 +1,163 @@
+"""The product lattice the dataflow interpreter propagates.
+
+One :class:`AbstractValue` summarises everything the rules need to know about
+an expression: which dtypes it *may* have, which memory layouts it *may* have,
+whether it is an ndarray at all, and a set of provenance tags (RNG-stream
+handle, RNG draw, session handle, ...).
+
+The design is deliberately *evidence-based* rather than sound: ``dtypes`` and
+``layouts`` are finite sets of observed possibilities, and ``None`` means
+"no evidence" (top).  Joins union the evidence; top absorbs.  Rules fire only
+on positive evidence (``may_f64``/``may_view``), never on top, so unknown
+code stays quiet instead of flooding findings - the same philosophy as the
+syntactic checkers this engine backs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import FrozenSet, Optional
+
+__all__ = [
+    "AbstractValue",
+    "TOP",
+    "DT_F32",
+    "DT_F64",
+    "DT_INT",
+    "DT_OTHER",
+    "LAY_CONTIG",
+    "LAY_VIEW",
+    "TAG_RNG_STREAM",
+    "TAG_RNG_DRAW",
+    "TAG_SESSION",
+    "TAG_UNHEALTHY",
+    "join",
+    "join_envs",
+    "array_value",
+    "scalar_value",
+]
+
+# dtype evidence atoms
+DT_F32 = "f32"
+DT_F64 = "f64"
+DT_INT = "int"
+DT_OTHER = "other"
+
+# layout evidence atoms
+LAY_CONTIG = "contig"
+LAY_VIEW = "view"
+
+# provenance tags (joined by union)
+TAG_RNG_STREAM = "rng-stream"  # a per-request Generator / ReplayableRNG handle
+TAG_RNG_DRAW = "rng-draw"  # value produced by drawing from an RNG stream
+TAG_SESSION = "session"  # an EngineSession handle
+TAG_UNHEALTHY = "may-unhealthy"  # session handle after mark_unhealthy on a path
+
+_EMPTY: FrozenSet[str] = frozenset()
+
+
+@dataclass(frozen=True)
+class AbstractValue:
+    """What the interpreter knows about one expression.
+
+    * ``dtypes`` - frozenset of dtype atoms the value may have, or ``None``
+      for "no evidence" (top).  ``may_f64`` is positive-evidence only.
+    * ``layouts`` - frozenset of layout atoms, or ``None`` for top.  A fresh
+      ufunc result is ``{contig}``; ``.T`` is ``{view}``; ``reshape``
+      preserves (a reshape of a C-contiguous array is C-contiguous).
+    * ``array`` - ``True``/``False``/``None`` three-valued arrayness.
+    * ``tags`` - provenance markers, unioned on join.
+    """
+
+    dtypes: Optional[FrozenSet[str]] = None
+    layouts: Optional[FrozenSet[str]] = None
+    array: Optional[bool] = None
+    tags: FrozenSet[str] = _EMPTY
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def may_f64(self) -> bool:
+        """Positive evidence the value may be float64 (top stays quiet)."""
+        return self.dtypes is not None and DT_F64 in self.dtypes
+
+    @property
+    def may_view(self) -> bool:
+        """Positive evidence the value may be a non-contiguous view."""
+        return self.layouts is not None and LAY_VIEW in self.layouts
+
+    @property
+    def is_contig(self) -> bool:
+        """Definite evidence of C-contiguity (used to relax RPL005)."""
+        return self.layouts == frozenset({LAY_CONTIG})
+
+    def has(self, tag: str) -> bool:
+        return tag in self.tags
+
+    # -- builders ----------------------------------------------------------
+
+    def with_tags(self, *tags: str) -> "AbstractValue":
+        return replace(self, tags=self.tags | frozenset(tags))
+
+    def without_tags(self, *tags: str) -> "AbstractValue":
+        return replace(self, tags=self.tags - frozenset(tags))
+
+    def with_dtypes(self, *atoms: str) -> "AbstractValue":
+        return replace(self, dtypes=frozenset(atoms))
+
+    def with_layouts(self, *atoms: str) -> "AbstractValue":
+        return replace(self, layouts=frozenset(atoms))
+
+
+TOP = AbstractValue()
+
+
+def _join_set(a: Optional[FrozenSet[str]], b: Optional[FrozenSet[str]]) -> Optional[FrozenSet[str]]:
+    if a is None or b is None:
+        return None  # top absorbs
+    return a | b
+
+
+def join(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    """Least upper bound: evidence unions, top absorbs, tags union."""
+    if a is b:
+        return a
+    return AbstractValue(
+        dtypes=_join_set(a.dtypes, b.dtypes),
+        layouts=_join_set(a.layouts, b.layouts),
+        array=a.array if a.array == b.array else None,
+        tags=a.tags | b.tags,
+    )
+
+
+def join_envs(a: dict, b: dict) -> dict:
+    """Join two name->value environments (missing names go to top-with-tags).
+
+    A name bound on only one branch keeps its tags (a may-property) but loses
+    dtype/layout/arrayness certainty - it may be unbound or different on the
+    other path.
+    """
+    out = dict(a)
+    for name, value in b.items():
+        if name in out:
+            out[name] = join(out[name], value)
+        else:
+            out[name] = AbstractValue(tags=value.tags)
+    for name, value in a.items():
+        if name not in b:
+            out[name] = AbstractValue(tags=value.tags)
+    return out
+
+
+def array_value(
+    *,
+    dtypes: Optional[FrozenSet[str]] = None,
+    layouts: Optional[FrozenSet[str]] = None,
+    tags: FrozenSet[str] = _EMPTY,
+) -> AbstractValue:
+    return AbstractValue(dtypes=dtypes, layouts=layouts, array=True, tags=tags)
+
+
+def scalar_value(dtype: Optional[str] = None) -> AbstractValue:
+    dtypes = frozenset({dtype}) if dtype is not None else None
+    return AbstractValue(dtypes=dtypes, layouts=None, array=False)

@@ -16,9 +16,19 @@ layout discipline).  The framework keeps the moving parts small:
 
 Suppression semantics: a ``# repro-lint: ignore[RPL001]`` comment suppresses
 matching findings anchored on its own line; when the comment sits alone on a
-line it applies to the next line instead.  ``ignore[*]`` suppresses every
-rule.  Baselines are JSON files listing finding keys (rule + path + message,
-deliberately line-number free so unrelated edits don't churn them).
+line it applies to the next *code* line instead - blank lines and further
+comments are skipped, and when that code line is a decorator the suppression
+extends through the decorated ``def``/``class`` statement.  ``ignore[*]``
+suppresses every rule.  ``# repro-lint: assume[...]`` comments carry dataflow
+facts (``f32``, ``c-contiguous``, ``row-shape``, ...) with the same
+line-targeting rules; the abstract interpreter and the RPL007-RPL010 rules
+consume them.  Baselines are JSON files listing finding keys (rule + path +
+message, deliberately line-number free so unrelated edits don't churn them).
+
+Scopes: every :class:`SourceFile` carries a ``scope`` - ``"src"`` for the
+package, ``"scripts"`` for ``scripts/*.py``, ``"tests"`` for the lintable
+test helpers.  Checkers declare which scopes they apply to via
+:attr:`Checker.scopes`, so test-only idioms don't trip production rules.
 """
 
 from __future__ import annotations
@@ -28,7 +38,7 @@ import json
 import re
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 __all__ = [
     "Finding",
@@ -43,6 +53,7 @@ __all__ = [
 ]
 
 _SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*ignore\[([A-Za-z0-9_*,\s]+)\]")
+_ASSUME_RE = re.compile(r"#\s*repro-lint:\s*assume\[([A-Za-z0-9_\-*,\s]+)\]")
 
 
 @dataclass(frozen=True, order=True)
@@ -67,25 +78,64 @@ class Finding:
 
 
 class SourceFile:
-    """A parsed source file plus its suppression table."""
+    """A parsed source file plus its suppression/assumption tables."""
 
-    def __init__(self, rel_path: str, source: str) -> None:
+    def __init__(self, rel_path: str, source: str, scope: str = "src") -> None:
         self.rel_path = rel_path.replace("\\", "/")
         self.source = source
+        self.scope = scope
         self.tree = ast.parse(source, filename=rel_path)
+        lines = source.splitlines()
         self._suppressions: Dict[int, Set[str]] = {}
-        for lineno, text in enumerate(source.splitlines(), start=1):
-            match = _SUPPRESS_RE.search(text)
-            if not match:
-                continue
-            rules = {part.strip() for part in match.group(1).split(",") if part.strip()}
-            # A comment-only line shields the statement below it.
-            target = lineno + 1 if text[: match.start()].strip() == "" else lineno
-            self._suppressions.setdefault(target, set()).update(rules)
+        self._assumptions: Dict[int, Set[str]] = {}
+        for lineno, text in enumerate(lines, start=1):
+            for regex, table in ((_SUPPRESS_RE, self._suppressions), (_ASSUME_RE, self._assumptions)):
+                match = regex.search(text)
+                if not match:
+                    continue
+                rules = {part.strip() for part in match.group(1).split(",") if part.strip()}
+                # A comment-only line shields the code below it.
+                if text[: match.start()].strip() == "":
+                    for target in self._comment_targets(lines, lineno):
+                        table.setdefault(target, set()).update(rules)
+                else:
+                    table.setdefault(lineno, set()).update(rules)
+
+    @staticmethod
+    def _comment_targets(lines: List[str], comment_line: int) -> List[int]:
+        """Lines a standalone comment applies to.
+
+        Skips blank lines and further comments to find the next code line;
+        when that line opens a decorator chain, the suppression extends to
+        every decorator line and the decorated ``def``/``class`` line (rule
+        anchors may sit on either).
+        """
+        index = comment_line  # 0-based index of the line *after* the comment
+        while index < len(lines) and (
+            not lines[index].strip() or lines[index].lstrip().startswith("#")
+        ):
+            index += 1
+        if index >= len(lines):
+            return []
+        targets = [index + 1]
+        if lines[index].lstrip().startswith("@"):
+            while index + 1 < len(lines):
+                index += 1
+                stripped = lines[index].lstrip()
+                if not stripped or stripped.startswith("#"):
+                    continue
+                targets.append(index + 1)
+                if not stripped.startswith("@"):
+                    break
+        return targets
 
     def suppressed(self, line: int, rule: str) -> bool:
         rules = self._suppressions.get(line, ())
         return rule in rules or "*" in rules
+
+    def assumptions(self, line: int) -> Set[str]:
+        """Dataflow facts asserted for ``line`` via ``assume[...]`` comments."""
+        return self._assumptions.get(line, set())
 
 
 class Project:
@@ -100,7 +150,10 @@ class Project:
         cls, sources: Mapping[str, str], aux: Optional[Mapping[str, str]] = None
     ) -> "Project":
         """Build an in-memory project (used by the checker fixture tests)."""
-        return cls({path: SourceFile(path, text) for path, text in sources.items()}, aux)
+        return cls(
+            {path: SourceFile(path, text, scope=_scope_of(path)) for path, text in sources.items()},
+            aux,
+        )
 
     def find(self, suffix: str) -> Optional[SourceFile]:
         """The unique source file whose path ends with ``suffix`` (if any)."""
@@ -121,10 +174,16 @@ class Project:
 
 
 class Checker:
-    """Base class: subclasses set ``rule``/``title`` and override one hook."""
+    """Base class: subclasses set ``rule``/``title`` and override one hook.
+
+    ``scopes`` declares which source scopes the rule applies to; per-file
+    hooks are only invoked for in-scope files, and project-level rules are
+    expected to consult ``handle.scope`` (the dataflow rules do).
+    """
 
     rule: str = "RPL000"
     title: str = ""
+    scopes: FrozenSet[str] = frozenset({"src"})
 
     def check_file(self, handle: SourceFile) -> Iterable[Finding]:
         return ()
@@ -133,16 +192,46 @@ class Checker:
         return ()
 
 
-def load_project(root: Path) -> Project:
-    """Load ``src/repro`` sources and the aux texts the project rules need."""
+ALL_SCOPES = ("src", "scripts", "tests")
+
+
+def _scope_of(rel_path: str) -> str:
+    path = rel_path.replace("\\", "/")
+    if path.startswith("scripts/") or "/scripts/" in path:
+        return "scripts"
+    if path.startswith("tests/") or "/tests/" in path:
+        return "tests"
+    return "src"
+
+
+def load_project(root: Path, scopes: Optional[Sequence[str]] = None) -> Project:
+    """Load the lintable sources and the aux texts the project rules need.
+
+    ``scopes`` selects which source trees are loaded: ``src`` is
+    ``src/repro/**``, ``scripts`` is ``scripts/*.py``, and ``tests`` is the
+    importable test helpers (``tests/helpers.py``) - not the test modules
+    themselves, whose fixture code intentionally violates the rules.
+    """
     root = Path(root)
-    package = root / "src" / "repro"
+    selected = set(scopes if scopes is not None else ALL_SCOPES)
     files: Dict[str, SourceFile] = {}
-    for path in sorted(package.rglob("*.py")):
-        if "__pycache__" in path.parts:
-            continue
+
+    def load(path: Path, scope: str) -> None:
         rel = path.relative_to(root).as_posix()
-        files[rel] = SourceFile(rel, path.read_text())
+        files[rel] = SourceFile(rel, path.read_text(), scope=scope)
+
+    if "src" in selected:
+        package = root / "src" / "repro"
+        for path in sorted(package.rglob("*.py")):
+            if "__pycache__" not in path.parts:
+                load(path, "src")
+    if "scripts" in selected:
+        for path in sorted((root / "scripts").glob("*.py")):
+            load(path, "scripts")
+    if "tests" in selected:
+        helpers = root / "tests" / "helpers.py"
+        if helpers.exists():
+            load(helpers, "tests")
     aux: Dict[str, str] = {}
     check_bench = root / "scripts" / "check_bench.py"
     if check_bench.exists():
@@ -155,7 +244,8 @@ def run_checkers(project: Project, checkers: Sequence[Checker]) -> List[Finding]
     findings: List[Finding] = []
     for checker in checkers:
         for handle in project.files.values():
-            findings.extend(checker.check_file(handle))
+            if handle.scope in checker.scopes:
+                findings.extend(checker.check_file(handle))
         findings.extend(checker.check_project(project))
     kept = []
     for finding in findings:
@@ -180,6 +270,7 @@ def run_lint(
     root: Path,
     checkers: Optional[Sequence[Checker]] = None,
     baseline: Optional[Set[str]] = None,
+    scopes: Optional[Sequence[str]] = None,
 ) -> Tuple[List[Finding], List[Finding]]:
     """Lint the repo at ``root``.
 
@@ -190,7 +281,7 @@ def run_lint(
         from .checkers import default_checkers
 
         checkers = default_checkers()
-    findings = run_checkers(load_project(root), checkers)
+    findings = run_checkers(load_project(root, scopes=scopes), checkers)
     baseline = baseline or set()
     new = [f for f in findings if f.key not in baseline]
     return findings, new

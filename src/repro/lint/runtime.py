@@ -34,6 +34,8 @@ import numpy as np
 
 __all__ = [
     "SanitizerError",
+    "DTYPE_CHECKED_KERNELS",
+    "COLS_CHECKED_KERNELS",
     "enabled",
     "calibration_region",
     "active_calibration_dtype",
@@ -42,6 +44,12 @@ __all__ = [
     "installed",
     "sanitized",
 ]
+
+# The shared region/sink model: these are the kernels install() wraps, and
+# the RPL007 static rule (repro.lint.dataflow.rules) imports the same tuples
+# so the runtime sanitizer and its static twin can never drift apart.
+DTYPE_CHECKED_KERNELS = ("linear", "conv2d", "group_norm", "layer_norm")
+COLS_CHECKED_KERNELS = ("conv2d_from_cols", "conv2d_from_cols_t")
 
 
 class SanitizerError(AssertionError):
@@ -138,9 +146,9 @@ def install() -> None:
         _originals[name] = original
         setattr(F, name, wrapper)
 
-    for kernel in ("linear", "conv2d", "group_norm", "layer_norm"):
+    for kernel in DTYPE_CHECKED_KERNELS:
         wrap_dtype(kernel)
-    for kernel in ("conv2d_from_cols", "conv2d_from_cols_t"):
+    for kernel in COLS_CHECKED_KERNELS:
         wrap_cols(kernel)
 
 

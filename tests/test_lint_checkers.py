@@ -1,8 +1,10 @@
-"""Checker-level tests for ``repro lint`` (RPL001-RPL006).
+"""Checker-level tests for ``repro lint`` (the syntactic rules RPL001-RPL006)
+plus the shared framework: suppression edge cases, baselines, scopes, SARIF
+and the CLI.  The dataflow rules RPL007-RPL010 live in
+``tests/test_lint_dataflow.py``.
 
 Each rule gets a violating fixture proving it fires and a clean twin proving
-it stays quiet, plus framework tests (suppression, baseline, CLI) and the
-end-to-end assertion that the repo itself is clean.
+it stays quiet, plus the end-to-end assertion that the repo itself is clean.
 """
 
 import json
@@ -398,6 +400,160 @@ def test_suppression_wildcard_and_wrong_rule():
     assert len(lint_sources({"src/repro/diffusion/bad.py": wrong})) == 1
 
 
+# RPL004 anchors on the `def` line, so an unprofiled entry point behind a
+# decorator chain exercises the decorated-def suppression path end to end.
+RPL004_DECORATED = """\
+import functools
+
+
+{comment}@functools.lru_cache(maxsize=1)
+@functools.wraps(object)
+def group_norm(x):
+    return x
+"""
+
+
+def test_suppression_standalone_comment_skips_blank_lines():
+    source = RPL001_BAD.replace(
+        "    return np.sqrt(a_bar) * x",
+        "    # repro-lint: ignore[RPL001]\n\n    # unrelated note\n\n"
+        "    return np.sqrt(a_bar) * x",
+    )
+    assert lint_sources({"src/repro/diffusion/bad.py": source}) == []
+
+
+def test_suppression_covers_decorated_def():
+    bad = RPL004_DECORATED.format(comment="")
+    findings = lint_sources({"src/repro/nn/functional.py": bad})
+    assert [f.rule for f in findings] == ["RPL004"]
+    assert findings[0].line == 6  # the `def` line, not the decorator line
+
+    for comment in ("# repro-lint: ignore[RPL004]\n", "# repro-lint: ignore[*]\n"):
+        shielded = RPL004_DECORATED.format(comment=comment)
+        assert lint_sources({"src/repro/nn/functional.py": shielded}) == []
+
+
+def test_baseline_key_is_line_free_but_rename_sensitive():
+    findings = lint_sources({"src/repro/diffusion/bad.py": RPL001_BAD})
+    key = findings[0].key
+    # Edits above the finding shift lines but keep the key stable...
+    shifted = "import math  # unrelated new line\n" + RPL001_BAD
+    moved = lint_sources({"src/repro/diffusion/bad.py": shifted})
+    assert moved[0].line == findings[0].line + 1
+    assert moved[0].key == key
+    # ...while renaming the file changes the key: a baselined finding in a
+    # renamed file resurfaces for re-triage instead of staying hidden.
+    renamed = lint_sources({"src/repro/diffusion/renamed.py": RPL001_BAD})
+    assert renamed[0].key != key
+    assert renamed[0].key.replace("renamed.py", "bad.py") == key
+
+
+# ---------------------------------------------------------------------------
+# scopes: scripts/ + tests/helpers.py coverage with per-rule opt-in
+# ---------------------------------------------------------------------------
+
+
+def test_scope_of_paths():
+    from repro.lint.framework import _scope_of
+
+    assert _scope_of("src/repro/nn/functional.py") == "src"
+    assert _scope_of("scripts/check_bench.py") == "scripts"
+    assert _scope_of("tests/helpers.py") == "tests"
+
+
+def test_scoped_rules_skip_out_of_scope_files():
+    # RPL001 declares scope {src}: the same violating code in scripts/ or
+    # tests/helpers.py (test-only idioms) must stay quiet.
+    assert lint_sources({"scripts/bad.py": RPL001_BAD}) == []
+    assert lint_sources({"tests/helpers.py": RPL001_BAD}) == []
+
+
+def test_load_project_scope_selection(tmp_path):
+    from repro.lint import load_project
+
+    (tmp_path / "src" / "repro").mkdir(parents=True)
+    (tmp_path / "scripts").mkdir()
+    (tmp_path / "tests").mkdir()
+    (tmp_path / "src" / "repro" / "mod.py").write_text("x = 1\n")
+    (tmp_path / "scripts" / "tool.py").write_text("y = 2\n")
+    (tmp_path / "tests" / "helpers.py").write_text("z = 3\n")
+    (tmp_path / "tests" / "test_mod.py").write_text("bad = 4\n")
+
+    everything = load_project(tmp_path)
+    assert set(everything.files) == {
+        "src/repro/mod.py",
+        "scripts/tool.py",
+        "tests/helpers.py",  # test *modules* are never loaded
+    }
+    assert everything.files["scripts/tool.py"].scope == "scripts"
+    src_only = load_project(tmp_path, scopes=["src"])
+    assert set(src_only.files) == {"src/repro/mod.py"}
+
+
+def test_cli_scope_knob(tmp_path, capsys):
+    root = _write_tmp_repo(tmp_path)
+    assert lint_main(["--root", str(root), "--scope", "scripts,tests"]) == 0
+    capsys.readouterr()
+    assert lint_main(["--root", str(root), "--scope", "src"]) == 1
+    capsys.readouterr()
+    assert lint_main(["--root", str(root), "--scope", "bogus"]) == 2
+    assert "unknown scope" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# SARIF output
+# ---------------------------------------------------------------------------
+
+
+def test_sarif_document_shape():
+    from repro.lint.sarif import findings_to_sarif
+
+    checkers = default_checkers()
+    findings = lint_sources({"src/repro/diffusion/bad.py": RPL001_BAD})
+    baseline = {findings[0].key}
+    doc = findings_to_sarif(findings, checkers, baseline)
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    rule_ids = [rule["id"] for rule in run["tool"]["driver"]["rules"]]
+    assert rule_ids == [f"RPL{n:03d}" for n in range(1, 11)]
+    result = run["results"][0]
+    assert result["ruleId"] == "RPL001"
+    assert result["baselineState"] == "unchanged"
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == "src/repro/diffusion/bad.py"
+    assert location["region"]["startLine"] == findings[0].line
+    # Without the baseline the same finding surfaces as new.
+    fresh = findings_to_sarif(findings, checkers, None)
+    assert fresh["runs"][0]["results"][0]["baselineState"] == "new"
+
+
+def test_cli_sarif_outputs(tmp_path, capsys):
+    root = _write_tmp_repo(tmp_path)
+    sarif_path = tmp_path / "findings.sarif"
+    assert lint_main(["--root", str(root), "--sarif", str(sarif_path)]) == 1
+    payload = json.loads(sarif_path.read_text())
+    assert payload["runs"][0]["results"][0]["ruleId"] == "RPL001"
+    capsys.readouterr()
+    assert lint_main(["--root", str(root), "--format", "sarif"]) == 1
+    stdout_doc = json.loads(capsys.readouterr().out)
+    assert stdout_doc["version"] == "2.1.0"
+
+
+# ---------------------------------------------------------------------------
+# time budget
+# ---------------------------------------------------------------------------
+
+
+def test_cli_time_budget(tmp_path, capsys):
+    root = _write_tmp_repo(tmp_path, source="x = 1\n")
+    assert lint_main(["--root", str(root), "--time-budget", "120"]) == 0
+    capsys.readouterr()
+    # An absurdly small budget trips exit code 3 even on a clean tree.
+    assert lint_main(["--root", str(root), "--time-budget", "0"]) == 3
+    assert "time budget exceeded" in capsys.readouterr().err
+
+
 def _write_tmp_repo(tmp_path, source=RPL001_BAD):
     target = tmp_path / "src" / "repro" / "diffusion" / "bad.py"
     target.parent.mkdir(parents=True)
@@ -431,8 +587,11 @@ def test_cli_baseline_accepts_known_findings(tmp_path, capsys):
 def test_cli_list_rules(capsys):
     assert lint_main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule in ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL006"):
-        assert rule in out
+    for number in range(1, 11):
+        assert f"RPL{number:03d}" in out
+    # --list-rules also advertises each rule's scopes.
+    assert "[src]" in out
+    assert "src,tests" in out or "tests" in out
 
 
 def test_repro_cli_forwards_lint(capsys):
@@ -443,18 +602,25 @@ def test_repro_cli_forwards_lint(capsys):
 
 
 # ---------------------------------------------------------------------------
-# end to end: the repo itself is clean under all six checkers
+# end to end: the repo itself is clean under all ten checkers
 # ---------------------------------------------------------------------------
 
 
 def test_repo_is_clean():
-    assert len(default_checkers()) == 6
+    assert len(default_checkers()) == 10
     findings, new = run_lint(REPO_ROOT)
     assert findings == [], "\n".join(str(f) for f in findings)
     assert new == []
 
 
-def test_checker_classes_cover_six_rules():
+def test_checker_classes_cover_ten_rules():
+    from repro.lint.dataflow import (
+        DtypeFlowChecker,
+        LayoutFlowChecker,
+        RngStreamChecker,
+        SessionLifecycleChecker,
+    )
+
     rules = {
         DtypePromotionChecker.rule,
         TemporalStateRegistryChecker.rule,
@@ -462,5 +628,10 @@ def test_checker_classes_cover_six_rules():
         ProfilerPhaseChecker.rule,
         GemmLayoutChecker.rule,
         SwallowedExceptionChecker.rule,
+        DtypeFlowChecker.rule,
+        LayoutFlowChecker.rule,
+        RngStreamChecker.rule,
+        SessionLifecycleChecker.rule,
     }
-    assert rules == {"RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL006"}
+    assert rules == {f"RPL{n:03d}" for n in range(1, 11)}
+    assert {c.rule for c in default_checkers()} == rules
