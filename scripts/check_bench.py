@@ -3,13 +3,13 @@
 
 ``repro bench`` writes machine-readable cold/warm timings per benchmark and
 batch size (schema 3, see ``repro.bench``).  This script compares a freshly
-measured record against the committed baseline (``BENCH_PR5.json``) and
+measured record against the committed baseline (``BENCH_PR9.json``) and
 exits non-zero when any timing regressed beyond the tolerance - turning the
 perf-smoke job from an artifact uploader into an actual gate.
 
 Usage::
 
-    python scripts/check_bench.py FRESH.json [--baseline BENCH_PR5.json]
+    python scripts/check_bench.py FRESH.json [--baseline BENCH_PR9.json]
         [--tol 0.25]
 
 The gate is *per phase*, not just per total: ``cold_build_s`` and
@@ -35,6 +35,14 @@ recorded by ``repro bench`` since schema 2 of PR 4), timings are
 runner that is 2x slower than the machine that recorded the baseline also
 measures a ~2x speed index, so the gate compares machine-relative work,
 not raw wall clock.  ``--no-normalize`` forces the raw comparison.
+
+Plan-then-execute (PR 9) adds a *within-record* acceptance check on the
+fresh measurement: ``plan_replay_run_s`` (the plan-mode serving run) must
+sit within ``--plan-floor-tol`` (default 15%, ``REPRO_PLAN_FLOOR_TOL``) of
+``plain_run_s`` (the uninstrumented plain-forward floor), subject to the
+same ``min_delta`` jitter slack.  Both timings come from the same record on
+the same machine, so no normalization applies; records without the plan
+fields are skipped.
 """
 
 from __future__ import annotations
@@ -46,7 +54,15 @@ import sys
 from pathlib import Path
 
 # The timings the gate guards, per (benchmark, batch size) record.
-GATED_METRICS = ("cold_build_s", "cold_run_s", "cold_total_s", "warm_load_s")
+GATED_METRICS = (
+    "cold_build_s",
+    "cold_run_s",
+    "cold_total_s",
+    "warm_load_s",
+    "plan_derive_s",
+    "plan_replay_run_s",
+    "plain_run_s",
+)
 
 
 def iter_timings(record):
@@ -114,14 +130,43 @@ def compare(
     return rows, regressions, missing
 
 
+def plan_floor_check(fresh: dict, tolerance: float, min_delta: float):
+    """Within-record check: plan replay must approach the plain floor.
+
+    Returns ``(rows, violations)`` where each row is ``(bench, size,
+    replay, plain, ratio, violated)``.  A record violates the floor when
+    ``plan_replay_run_s > plain_run_s * (1 + tolerance)`` *and* the absolute
+    gap exceeds ``min_delta`` - both timings come from the same fresh record
+    on the same machine, so no speed normalization applies.  Records without
+    the plan fields (older baselines) simply yield no rows.
+    """
+    rows, violations = [], []
+    for bench, rec in fresh.get("benchmarks", {}).items():
+        for size, sized in rec.get("by_batch_size", {}).items():
+            replay = sized.get("plan_replay_run_s")
+            plain = sized.get("plain_run_s")
+            if replay is None or plain is None:
+                continue
+            replay, plain = float(replay), float(plain)
+            ratio = replay / plain if plain > 0 else float("inf")
+            violated = (
+                replay > plain * (1.0 + tolerance)
+                and replay - plain > min_delta
+            )
+            rows.append((bench, size, replay, plain, ratio, violated))
+            if violated:
+                violations.append(rows[-1])
+    return rows, violations
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="fail when a fresh repro-bench record regresses vs baseline"
     )
     parser.add_argument("fresh", help="freshly measured bench JSON")
     parser.add_argument(
-        "--baseline", default="BENCH_PR5.json",
-        help="committed baseline record (default: BENCH_PR5.json)",
+        "--baseline", default="BENCH_PR9.json",
+        help="committed baseline record (default: BENCH_PR9.json)",
     )
     parser.add_argument(
         "--tol", type=float, default=None, metavar="FRACTION",
@@ -137,6 +182,11 @@ def main(argv=None) -> int:
         help="compare raw wall clock even when both records carry the "
              "host speed probe",
     )
+    parser.add_argument(
+        "--plan-floor-tol", type=float, default=None, metavar="FRACTION",
+        help="allowed plan_replay_run_s excess over plain_run_s within the "
+             "fresh record (default: $REPRO_PLAN_FLOOR_TOL or 0.15)",
+    )
     args = parser.parse_args(argv)
 
     tolerance = args.tol
@@ -149,6 +199,11 @@ def main(argv=None) -> int:
         min_delta = float(os.environ.get("REPRO_BENCH_MIN_DELTA", "0.05"))
     if min_delta < 0:
         parser.error(f"min-delta must be >= 0, got {min_delta}")
+    floor_tol = args.plan_floor_tol
+    if floor_tol is None:
+        floor_tol = float(os.environ.get("REPRO_PLAN_FLOOR_TOL", "0.15"))
+    if floor_tol < 0:
+        parser.error(f"plan-floor-tol must be >= 0, got {floor_tol}")
 
     try:
         baseline = json.loads(Path(args.baseline).read_text())
@@ -182,11 +237,29 @@ def main(argv=None) -> int:
     for bench, size, metric in missing:
         print(f"  warning: {bench} b{size} {metric} missing from fresh record")
 
-    if regressions:
-        print(f"\nFAIL: {len(regressions)} timing(s) regressed beyond "
-              f"+{100 * tolerance:.0f}% (override via REPRO_BENCH_TOL)")
+    # Plan-then-execute acceptance: within the fresh record, the plan-replay
+    # run must sit within --plan-floor-tol of the plain-forward floor.
+    floor_rows, floor_violations = plan_floor_check(fresh, floor_tol, min_delta)
+    if floor_rows:
+        print(f"plan floor: plan_replay_run_s vs plain_run_s "
+              f"(tolerance +{100 * floor_tol:.0f}%)")
+        for bench, size, replay, plain, ratio, violated in floor_rows:
+            flag = "ABOVE FLOOR" if violated else "ok"
+            print(f"  {bench} b{size}  replay {replay:8.4f}s vs plain "
+                  f"{plain:8.4f}s  x{ratio:5.2f}  {flag}")
+
+    if regressions or floor_violations:
+        if regressions:
+            print(f"\nFAIL: {len(regressions)} timing(s) regressed beyond "
+                  f"+{100 * tolerance:.0f}% (override via REPRO_BENCH_TOL)")
+        if floor_violations:
+            print(f"\nFAIL: plan replay above the plain-forward floor in "
+                  f"{len(floor_violations)} record(s) (override via "
+                  "REPRO_PLAN_FLOOR_TOL)")
         return 1
-    print(f"\nOK: {len(rows)} timing(s) within tolerance")
+    print(f"\nOK: {len(rows)} timing(s) within tolerance"
+          + (f", {len(floor_rows)} plan-floor check(s) passed"
+             if floor_rows else ""))
     return 0
 
 

@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""CI docs gate: intra-repo markdown link check.
+
+Scans the repo's human-facing markdown (``README.md``, ``ROADMAP.md``,
+``docs/*.md``) for inline links and images, and fails when a relative
+link points at a file that does not exist or an anchor that no heading
+produces.  External links (``http(s)://``, ``mailto:``) are *not*
+fetched - the gate guards the repo's own tree, not the internet.
+
+Anchors are resolved GitHub-style: a heading ``## Zero-state difference
+algebra`` yields ``#zero-state-difference-algebra`` (lowercase,
+punctuation stripped, spaces to dashes, duplicate slugs suffixed
+``-1``, ``-2``, ...).
+
+Usage::
+
+    python scripts/check_docs.py [FILES...]
+
+With no arguments, checks the default set relative to the repo root.
+Exits 1 on any broken link, 2 when an input file cannot be read.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+DEFAULT_FILES = ("README.md", "ROADMAP.md", "docs")
+
+# Inline links/images: [text](target) / ![alt](target).  Targets with
+# spaces or nested parens do not occur in this repo's docs.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$")
+_CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str, seen: dict) -> str:
+    """GitHub's anchor slug for a heading line (deduplicated via ``seen``)."""
+    # Strip inline markdown (code spans, links, emphasis) down to text.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    text = text.replace("`", "")
+    slug = re.sub(r"[^\w\- ]", "", text.strip().lower())
+    slug = slug.replace(" ", "-")
+    count = seen.get(slug)
+    seen[slug] = 0 if count is None else count + 1
+    return slug if count is None else f"{slug}-{seen[slug]}"
+
+
+def collect_anchors(path: Path) -> set:
+    """All heading anchors a markdown file exposes."""
+    anchors, seen = set(), {}
+    in_fence = False
+    for line in path.read_text().splitlines():
+        if _CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING_RE.match(line)
+        if match:
+            anchors.add(github_slug(match.group(2), seen))
+    return anchors
+
+
+def iter_links(path: Path):
+    """Yield ``(line_number, target)`` for every inline link, skipping
+    fenced code blocks (shell examples are full of ``$(...)``)."""
+    in_fence = False
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if _CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK_RE.finditer(line):
+            yield lineno, match.group(1)
+
+
+def check_file(path: Path, anchor_cache: dict) -> list:
+    """Return ``"<file>:<line>: <problem>"`` strings for broken links."""
+    problems = []
+    for lineno, target in iter_links(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        raw, _, anchor = target.partition("#")
+        dest = path if not raw else (path.parent / raw).resolve()
+        if not dest.exists():
+            problems.append(f"{path}:{lineno}: missing file: {target}")
+            continue
+        if anchor and dest.suffix == ".md":
+            if dest not in anchor_cache:
+                anchor_cache[dest] = collect_anchors(dest)
+            if anchor not in anchor_cache[dest]:
+                problems.append(
+                    f"{path}:{lineno}: missing anchor: {target}"
+                )
+    return problems
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv:
+        roots = [Path(a) for a in argv]
+    else:
+        roots = [REPO_ROOT / name for name in DEFAULT_FILES]
+
+    files = []
+    for root in roots:
+        if root.is_dir():
+            files.extend(sorted(root.glob("*.md")))
+        else:
+            files.append(root)
+
+    missing = [f for f in files if not f.exists()]
+    if missing:
+        for f in missing:
+            print(f"check_docs: no such file: {f}", file=sys.stderr)
+        return 2
+
+    anchor_cache = {}
+    problems = []
+    checked_links = 0
+    for path in files:
+        before = len(problems)
+        links = list(iter_links(path))
+        checked_links += len(links)
+        problems.extend(check_file(path, anchor_cache))
+        status = "ok" if len(problems) == before else "BROKEN"
+        print(f"  {path.relative_to(REPO_ROOT) if path.is_relative_to(REPO_ROOT) else path}"
+              f"  {len(links)} link(s)  {status}")
+
+    if problems:
+        print()
+        for problem in problems:
+            print(problem)
+        print(f"\nFAIL: {len(problems)} broken link(s) "
+              f"across {len(files)} file(s)")
+        return 1
+    print(f"\nOK: {checked_links} link(s) across {len(files)} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

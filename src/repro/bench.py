@@ -37,7 +37,7 @@ __all__ = [
     "host_speed_index",
 ]
 
-DEFAULT_OUT = "BENCH_PR5.json"
+DEFAULT_OUT = "BENCH_PR9.json"
 
 
 def clear_pools() -> None:
@@ -104,6 +104,17 @@ def _bench_one_batch_size(
     the per-phase gate in ``scripts/check_bench.py`` needs each phase
     centred on the same statistic.  ``cold_best_total_s`` keeps the
     optimistic headline.
+
+    Plan-then-execute (PR 9) adds three steady-state fields per record:
+    ``plan_derive_s`` (the one-time instrumented derivation of the
+    :class:`~repro.core.plan.ExecutionPlan`), ``plan_replay_run_s`` (median
+    plan-mode serving run: ``record_trace=False`` with the plan already
+    derived), and ``plain_run_s`` (median plain-forward floor - the same
+    uninstrumented run with no plan involved).  ``scripts/check_bench.py``
+    gates ``plan_replay_run_s`` within 15% of ``plain_run_s``, proving the
+    serving run phase reached the floor.  These are record *fields*, not new
+    ``phases`` sections: each cold repeat's phase dict stays exactly
+    ``{"build", "run"}``.
     """
     cold_runs: List[Dict[str, object]] = []
     result = None
@@ -158,6 +169,38 @@ def _bench_one_batch_size(
 
     trace = result.rich_trace
     batch = int(params["batch_size"])
+
+    # Plan-then-execute: the plan-replay run phase vs the plain-forward
+    # floor, both steady-state.  One untimed record_trace=False run first so
+    # the one-time sticky-scale probe forward is excluded from every timed
+    # repeat (a serving loop pays it once, not per run).
+    seed = params["seed"]
+    engine.run(batch_size=batch, seed=seed, record_trace=False)
+    plain_times = []
+    for _ in range(max(repeats, 1)):
+        t0 = time.perf_counter()
+        engine.run(batch_size=batch, seed=seed, record_trace=False)
+        plain_times.append(time.perf_counter() - t0)
+    t0 = time.perf_counter()
+    plan = engine.derive_plan(seed=seed, batch_size=1)
+    plan_derive_s = time.perf_counter() - t0
+    # The plan-mode serving run: explicit per-request noise + rng streams
+    # (the form _drain_queue launches), plan already derived, no
+    # instrumentation.  The gate demands this approaches plain_run_s.
+    x_init = np.random.default_rng(seed).standard_normal(
+        (batch,) + tuple(engine.pipeline.sample_shape)
+    )
+    rngs = [
+        np.random.default_rng(np.random.SeedSequence(seed, spawn_key=(i,)))
+        for i in range(batch)
+    ]
+    replay_times = []
+    for _ in range(max(repeats, 1)):
+        t0 = time.perf_counter()
+        engine.run(x_init=x_init, record_trace=False, rngs=rngs)
+        replay_times.append(time.perf_counter() - t0)
+    assert plan.num_records == len(trace)  # same engine, same trajectory
+
     return {
         "batch_size": batch,
         "cold_build_s": round(build_s, 4),
@@ -167,6 +210,9 @@ def _bench_one_batch_size(
         "cold_runs": cold_runs,
         "phases": phases,
         "warm_load_s": None if warm_s is None else round(warm_s, 4),
+        "plan_derive_s": round(plan_derive_s, 4),
+        "plan_replay_run_s": round(statistics.median(replay_times), 4),
+        "plain_run_s": round(statistics.median(plain_times), 4),
         "records": len(trace),
         "steps": trace.num_steps(),
         "total_macs": trace.total_macs(),
@@ -215,7 +261,8 @@ def bench_benchmark(
         key: headline[key]
         for key in (
             "cold_build_s", "cold_run_s", "cold_total_s", "cold_best_total_s",
-            "cold_runs", "phases", "warm_load_s", "records", "steps",
+            "cold_runs", "phases", "warm_load_s", "plan_derive_s",
+            "plan_replay_run_s", "plain_run_s", "records", "steps",
             "total_macs", "samples_l1",
         )
     }
@@ -257,6 +304,9 @@ def run_bench(
         # across repeats (cold_best_total_s keeps the best-of-N total) and
         # every record carries a "phases" breakdown (build: calibration /
         # trajectory / quantize / norm / im2col; run: norm / im2col).
+        # PR 9 adds per-record plan-then-execute fields (plan_derive_s /
+        # plan_replay_run_s / plain_run_s) without changing the schema: the
+        # gate treats absent metrics as "fewer comparisons", never failures.
         "schema": 3,
         "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "host": {

@@ -183,6 +183,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-run one micro-batch request-by-request and assert bit-exactness",
     )
     serve_p.add_argument(
+        "--plan", dest="use_plan", action="store_true",
+        help="plan-then-execute: load (or derive once and cache) the "
+             "ExecutionPlan and serve instrumentation-free; cached plans "
+             "are drift-checked against a re-instrumented derivation run "
+             "(with --verify, references run instrumented)",
+    )
+    serve_p.add_argument(
         "--deadline", type=float, default=None, metavar="SECONDS",
         dest="deadline_s",
         help="per-request completion deadline from arrival; expired rows "
@@ -231,7 +238,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true",
         help="CI smoke mode: DDPM only (unless named), one repeat",
     )
-    bench_p.add_argument("--repeats", type=int, default=2, metavar="N")
+    bench_p.add_argument(
+        "--repeats", type=int, default=2, metavar="N",
+        help="cold repeats per benchmark; headline cold_*/phase timings are "
+             "the medians across repeats (schema 3; cold_best_total_s keeps "
+             "the optimistic best-of-N total)",
+    )
     bench_p.add_argument("--steps", type=int, default=None, help="override step count")
     bench_p.add_argument("--seed", type=int, default=0)
     bench_p.add_argument(
@@ -241,7 +253,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_p.add_argument(
         "--out", default=None, metavar="PATH",
-        help="output JSON path (default: BENCH_PR5.json)",
+        help="output JSON path (default: BENCH_PR9.json)",
     )
     bench_p.add_argument(
         "--calibration-dtype", default=None, metavar="DTYPE",
@@ -379,6 +391,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         fault_seed=args.fault_seed,
         max_retries=args.max_retries,
         recover=args.recover,
+        use_plan=args.use_plan,
     )
     print(report.summary())
     if args.out:

@@ -1,6 +1,6 @@
 """The Ditto algorithm: difference processing, Defo, traces, analytics."""
 
-from .bitwidth import BitWidthStats, classify, required_bits
+from .bitwidth import BitWidthStats, classify, required_bits, stats_from_counts
 from .bops import (
     bops_per_mac,
     layer_bops,
@@ -13,6 +13,7 @@ from .engine import DittoEngine, EngineResult
 from .session import EngineSession
 from .graphinfo import GraphAnalyzer, LayerStaticInfo, analyze_model
 from .modes import ExecutionMode
+from .plan import ExecutionPlan, compare_plans, extract_plan
 from .policy import lower_dense, lower_spatial, lower_temporal
 from .similarity import (
     ActivationCapture,
@@ -37,6 +38,10 @@ __all__ = [
     "BitWidthStats",
     "classify",
     "required_bits",
+    "stats_from_counts",
+    "ExecutionPlan",
+    "extract_plan",
+    "compare_plans",
     "LayerStep",
     "RichLayerStep",
     "Trace",

@@ -20,6 +20,7 @@ __all__ = [
     "classify_many",
     "clear_classification_pool",
     "required_bits",
+    "stats_from_counts",
     "LOW_BITS",
     "FULL_BITS",
 ]
@@ -139,16 +140,28 @@ def _bucket_counts(values: np.ndarray) -> tuple:
     return total, zero, low_or_zero
 
 
+def stats_from_counts(total: int, zero: int, low_or_zero: int) -> BitWidthStats:
+    """Rebuild :class:`BitWidthStats` from raw band-test counts.
+
+    ``(total, zero, low_or_zero)`` is the accumulator triple the fused
+    classification pass carries (see :func:`_bucket_counts`): the ``low`` and
+    ``high`` buckets fall out by subtraction.  Plan extraction
+    (:func:`repro.core.plan.extract_plan`) uses the same identity to rebuild
+    an aggregate from a trace's summed bucket columns without touching any
+    operand array.
+    """
+    return BitWidthStats(
+        total=total, zero=zero, low=low_or_zero - zero, high=total - low_or_zero
+    )
+
+
 def classify(values: np.ndarray) -> BitWidthStats:
     """Bucket integer-valued ``values`` into zero / 4-bit / over-4-bit.
 
     ``values`` must already be in the quantized integer domain (the output of
     :meth:`repro.quant.SymmetricQuantizer.quantize` or a difference thereof).
     """
-    total, zero, low_or_zero = _bucket_counts(values)
-    return BitWidthStats(
-        total=total, zero=zero, low=low_or_zero - zero, high=total - low_or_zero
-    )
+    return stats_from_counts(*_bucket_counts(values))
 
 
 def classify_many(*arrays: np.ndarray) -> BitWidthStats:
@@ -165,9 +178,7 @@ def classify_many(*arrays: np.ndarray) -> BitWidthStats:
         total += t
         zero += z
         low_or_zero += lz
-    return BitWidthStats(
-        total=total, zero=zero, low=low_or_zero - zero, high=total - low_or_zero
-    )
+    return stats_from_counts(total, zero, low_or_zero)
 
 
 def required_bits(values: np.ndarray) -> np.ndarray:

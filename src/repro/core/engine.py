@@ -303,18 +303,59 @@ class DittoEngine:
                 return False
         return True
 
+    # -- plan derivation -----------------------------------------------------
+    def derive_plan(
+        self,
+        seed: int = 0,
+        batch_size: int = 1,
+        hardware: str = "Ditto",
+    ):
+        """Run one instrumented pass and extract its :class:`ExecutionPlan`.
+
+        The plan-then-execute split (see ``docs/plan-cache.md``): this is the
+        *only* instrumented run a plan-mode serve performs; every later run
+        replays with ``record_trace=False`` and reports the plan's derived
+        bitwidth/Defo numbers.  Deterministic - the same engine, seed, and
+        batch size always derive the identical plan (digest included), which
+        is what the serving drift check relies on.
+
+        Parameters
+        ----------
+        seed, batch_size:
+            The derivation run's parameters; recorded in the plan so the
+            drift check can replay them exactly.
+        hardware:
+            Accelerator name for the Defo cycle model.
+
+        Returns
+        -------
+        repro.core.plan.ExecutionPlan
+        """
+        from .plan import extract_plan
+
+        result = self.run(batch_size=batch_size, seed=seed)
+        return extract_plan(
+            result,
+            hardware=hardware,
+            derivation_seed=seed,
+            derivation_batch_size=batch_size,
+        )
+
     # -- row-granular serving ------------------------------------------------
-    def open_session(self, capacity: Optional[int] = None):
+    def open_session(self, capacity: Optional[int] = None, plan=None):
         """Open a continuous-batching session over this engine.
 
         The session owns the model's temporal state until closed: rows are
         admitted/evicted at step boundaries and each advances at its own
         timestep, bit-exact with its seeded batch-1 reference run.  See
-        :class:`repro.core.session.EngineSession`.
+        :class:`repro.core.session.EngineSession`.  ``plan`` attaches a
+        pre-derived :class:`~repro.core.plan.ExecutionPlan` (plan-replay
+        mode - the session never instruments, so the plan is where its
+        bitwidth/Defo numbers come from).
         """
         from .session import EngineSession
 
-        return EngineSession(self, capacity=capacity)
+        return EngineSession(self, capacity=capacity, plan=plan)
 
     # -- instrumented generation --------------------------------------------
     def run(

@@ -91,9 +91,20 @@ class EngineSession:
         Maximum concurrent rows (``None`` = unbounded).  The serving driver
         derives this from the micro-batch size sweep and, optionally, from a
         scratch-pool memory budget.
+    plan:
+        Optional pre-derived :class:`~repro.core.plan.ExecutionPlan`
+        (plan-replay mode).  Sessions never instrument, so an attached plan
+        is where the serving tier reads bitwidth/Defo numbers from; it must
+        describe this engine (benchmark and step count are validated).
+
+    Raises
+    ------
+    ValueError
+        If the sampler is not row-steppable, ``capacity < 1``, or ``plan``
+        describes a different engine.
     """
 
-    def __init__(self, engine, capacity: Optional[int] = None) -> None:
+    def __init__(self, engine, capacity: Optional[int] = None, plan=None) -> None:
         sampler = engine.pipeline.sampler
         if not getattr(sampler, "row_stepping", False):
             raise ValueError(
@@ -103,8 +114,20 @@ class EngineSession:
             )
         if capacity is not None and capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if plan is not None:
+            if plan.benchmark != engine.benchmark:
+                raise ValueError(
+                    f"plan was derived for benchmark {plan.benchmark!r}; "
+                    f"this engine serves {engine.benchmark!r}"
+                )
+            if plan.num_model_calls != engine.pipeline.num_model_calls():
+                raise ValueError(
+                    f"plan covers {plan.num_model_calls} denoiser calls; "
+                    f"this engine makes {engine.pipeline.num_model_calls()}"
+                )
         self.engine = engine
         self.capacity = capacity
+        self.plan = plan
         self.num_steps = len(sampler.timesteps)
         self._sample_shape = tuple(engine.pipeline.sample_shape)
         self._rows: List[_SessionRow] = []
@@ -134,6 +157,7 @@ class EngineSession:
 
     @property
     def tags(self) -> List[object]:
+        """Each in-flight row's tag, in row order."""
         return [row.tag for row in self._rows]
 
     @property
@@ -143,10 +167,12 @@ class EngineSession:
 
     @property
     def healthy(self) -> bool:
+        """Whether the session still accepts admissions and steps."""
         return self._healthy
 
     @property
     def unhealthy_reason(self) -> str:
+        """Why the session was marked unhealthy (empty while healthy)."""
         return self._unhealthy_reason
 
     def mark_unhealthy(self, reason: str) -> None:

@@ -5,9 +5,9 @@ Public surface:
 * :class:`EngineRunner` - process-pool fan-out of benchmark engine runs
   with a shared content-addressed result cache,
 * :class:`ResultCache` / :class:`CacheStats` - the on-disk store,
-* :func:`engine_key` / :func:`engine_build_key` / :func:`similarity_key` /
-  :func:`stable_hash` / :func:`code_fingerprint` - stable cache-key
-  construction,
+* :func:`engine_key` / :func:`engine_build_key` / :func:`plan_key` /
+  :func:`similarity_key` / :func:`stable_hash` / :func:`code_fingerprint` -
+  stable cache-key construction,
 * :class:`FaultPlan` / :class:`CancelToken` / :class:`ReplayableRNG` - the
   deterministic fault-injection harness and cancellation primitives behind
   fault-tolerant serving (:mod:`repro.runtime.faults`).
@@ -27,6 +27,7 @@ from .hashing import (
     code_fingerprint,
     engine_build_key,
     engine_key,
+    plan_key,
     similarity_key,
     spec_signature,
     stable_hash,
@@ -80,6 +81,7 @@ __all__ = [
     "generate_requests",
     "normalize_batch_sizes",
     "parse_slo_spec",
+    "plan_key",
     "pool_budget_row_cap",
     "similarity_key",
     "simulate_serving",

@@ -41,6 +41,7 @@ def _seal_for_storage(value: Any) -> None:
 
 
 def default_cache_dir() -> Path:
+    """The on-disk store location: ``$REPRO_CACHE_DIR`` or ``~/.cache/ditto-repro``."""
     env = os.environ.get(_ENV_VAR)
     if env:
         return Path(env)
@@ -57,6 +58,7 @@ class CacheStats:
     corrupt: int = 0
 
     def merge(self, other: "CacheStats") -> "CacheStats":
+        """A new ``CacheStats`` summing this instance's counters with ``other``'s."""
         return CacheStats(
             hits=self.hits + other.hits,
             misses=self.misses + other.misses,
@@ -65,6 +67,7 @@ class CacheStats:
         )
 
     def summary(self) -> str:
+        """One human-readable counter line for CLI output."""
         return (
             f"cache: {self.hits} hits, {self.misses} misses, "
             f"{self.stores} stores, {self.corrupt} corrupt"
@@ -83,9 +86,11 @@ class ResultCache:
         self.cache_dir = Path(self.cache_dir)
 
     def path_for(self, key: str) -> Path:
+        """The entry path for ``key``: ``<dir>/<key[:2]>/<key>.pkl``."""
         return self.cache_dir / key[:2] / f"{key}.pkl"
 
     def contains(self, key: str) -> bool:
+        """Whether an entry exists for ``key`` (always ``False`` when disabled)."""
         return self.enabled and self.path_for(key).exists()
 
     def get(self, key: str) -> Optional[Any]:
@@ -119,11 +124,34 @@ class ResultCache:
         return value
 
     def put(self, key: str, value: Any) -> None:
+        """Pickle ``value`` under ``key`` (no-op when the cache is disabled)."""
         if not self.enabled:
             return
         _seal_for_storage(value)
         dump_pickle(value, self.path_for(key))
         self.stats.stores += 1
+
+    def get_or_compute(self, key: str, compute) -> Any:
+        """Return the cached value for ``key``, computing and storing on miss.
+
+        Parameters
+        ----------
+        key:
+            A stable hash from :mod:`repro.runtime.hashing`.
+        compute:
+            Zero-argument callable producing the value on a miss; its result
+            is stored before being returned.
+
+        Returns
+        -------
+        Any
+            The cached or freshly computed value.
+        """
+        value = self.get(key)
+        if value is None:
+            value = compute()
+            self.put(key, value)
+        return value
 
     def invalidate(self, key: str) -> bool:
         """Delete one entry; returns whether it existed."""
@@ -134,11 +162,13 @@ class ResultCache:
         return False
 
     def entry_count(self) -> int:
+        """Number of entries currently on disk."""
         if not Path(self.cache_dir).exists():
             return 0
         return sum(1 for _ in Path(self.cache_dir).rglob("*.pkl"))
 
     def size_bytes(self) -> int:
+        """Total on-disk size of all entries, in bytes."""
         if not Path(self.cache_dir).exists():
             return 0
         return sum(p.stat().st_size for p in Path(self.cache_dir).rglob("*.pkl"))

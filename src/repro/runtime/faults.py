@@ -97,12 +97,14 @@ class CancelToken:
         self.reason = ""
 
     def cancel(self, reason: str = "") -> None:
+        """Latch the token cancelled (idempotent), keeping the first reason."""
         self._cancelled = True
         if reason:
             self.reason = reason
 
     @property
     def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
         return self._cancelled
 
 
@@ -127,20 +129,24 @@ class ReplayableRNG:
         self.draws = 0
 
     def standard_normal(self, *args, **kwargs):
+        """Draw from the wrapped generator, counting the call."""
         self.draws += 1
         return self.generator.standard_normal(*args, **kwargs)
 
     def capture_state(self) -> Dict[str, object]:
+        """Snapshot the draw count and exact bit-generator state."""
         return {
             "draws": self.draws,
             "state": copy.deepcopy(self.generator.bit_generator.state),
         }
 
     def restore_state(self, snapshot: Mapping[str, object]) -> None:
+        """Rewind to a :meth:`capture_state` snapshot (exact bit-for-bit)."""
         self.draws = int(snapshot["draws"])
         self.generator.bit_generator.state = copy.deepcopy(snapshot["state"])
 
     def fast_forward(self, draws: int, shape: Tuple[int, ...]) -> None:
+        """Skip ``draws`` row-shaped draws, landing where a dead stream left off."""
         for _ in range(draws):
             self.standard_normal(shape)
 
@@ -180,13 +186,16 @@ class FaultEntry:
     p: float = 1.0
 
     def spent(self) -> bool:
+        """Whether the firing budget is exhausted (``times=None`` never spends)."""
         return self.times is not None and self.times <= 0
 
     def consume(self) -> None:
+        """Spend one firing from the budget (no-op for unlimited entries)."""
         if self.times is not None:
             self.times -= 1
 
     def coord(self) -> str:
+        """Human rendering of the entry's firing coordinate for fault logs."""
         if self.req is not None:
             return f"req={self.req}, step={self.step}"
         return f"attempt={self.step}"
@@ -225,6 +234,13 @@ class FaultPlan:
 
     @classmethod
     def from_spec(cls, spec: str, seed: int = 0) -> "FaultPlan":
+        """Parse a ``;``-separated fault-spec string into a fresh plan.
+
+        Each entry is ``kind@key=value,...`` (see the module docstring for
+        the grammar and ``FAULT_KINDS`` for the kinds).  Raises
+        ``ValueError`` on unknown kinds, malformed keys, or out-of-range
+        probabilities.
+        """
         entries: List[FaultEntry] = []
         for raw in spec.split(";"):
             raw = raw.strip()

@@ -34,6 +34,7 @@ __all__ = [
     "spec_signature",
     "engine_key",
     "engine_build_key",
+    "plan_key",
     "similarity_key",
 ]
 
@@ -203,6 +204,53 @@ def engine_build_key(
             "sampler": sampler,
             "sampler_eta": sampler_eta,
             "calibration_dtype": str(resolved_cal_dtype),
+        }
+    )
+
+
+def plan_key(
+    spec,
+    num_steps: Optional[int] = None,
+    calibrate: bool = True,
+    calibration_seed: int = 11,
+    step_clusters: int = 1,
+    guidance_scale: Optional[float] = None,
+    sampler: Optional[str] = None,
+    sampler_eta: Optional[float] = None,
+    calibration_dtype: Optional[str] = None,
+    derivation_seed: int = 0,
+    derivation_batch_size: int = 1,
+    hardware: str = "Ditto",
+    plan_format: int = 1,
+) -> str:
+    """Cache key for one :class:`~repro.core.plan.ExecutionPlan`.
+
+    Same engine-construction axes as :func:`engine_build_key` (a plan is a
+    property of the built engine, not of any one serving run), plus the
+    *derivation* run parameters (``derivation_seed`` /
+    ``derivation_batch_size`` - bitwidth stats depend on the sampled noise),
+    the Defo hardware model, and the plan payload format.  Embeds
+    :func:`code_fingerprint`, so every source edit strands stale plans
+    exactly like every other cache entry.
+    """
+    resolved_cal_dtype = resolve_calibration_dtype(spec, calibration_dtype)
+    return stable_hash(
+        {
+            "kind": "execution_plan",
+            "code": code_fingerprint(),
+            "spec": spec_signature(spec),
+            "num_steps": num_steps,
+            "calibrate": calibrate,
+            "calibration_seed": calibration_seed,
+            "step_clusters": step_clusters,
+            "guidance_scale": guidance_scale,
+            "sampler": sampler,
+            "sampler_eta": sampler_eta,
+            "calibration_dtype": str(resolved_cal_dtype),
+            "derivation_seed": derivation_seed,
+            "derivation_batch_size": derivation_batch_size,
+            "hardware": hardware,
+            "plan_format": plan_format,
         }
     )
 

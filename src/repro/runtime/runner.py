@@ -165,10 +165,12 @@ class EngineRunner:
     # -- introspection -----------------------------------------------------
     @property
     def cache(self) -> ResultCache:
+        """The shared content-addressed result store."""
         return self._cache
 
     @property
     def stats(self) -> CacheStats:
+        """Hit/miss counters of the underlying cache."""
         return self._cache.stats
 
     # -- single results ----------------------------------------------------

@@ -222,10 +222,12 @@ class ServedRequest:
 
     @property
     def latency_s(self) -> float:
+        """Completion minus arrival: queueing delay and batching window included."""
         return self.finish_s - self.arrival_s
 
     @property
     def on_time(self) -> bool:
+        """Completed within the SLO deadline (``True`` when no deadline applies)."""
         return self.outcome == "completed" and (
             self.deadline_s is None or self.latency_s <= self.deadline_s
         )
@@ -256,6 +258,7 @@ class SLOClassReport:
         return (self.cancelled + self.expired) / self.total if self.total else 0.0
 
     def to_json(self) -> Dict[str, object]:
+        """Machine-readable rendering for the serve report JSON."""
         return {
             "name": self.name,
             "deadline_s": self.deadline_s,
@@ -348,12 +351,14 @@ class BatchSizeReport:
     recoveries: int = 0
 
     def outcome_counts(self) -> Dict[str, int]:
+        """Requests per terminal outcome (all ``REQUEST_OUTCOMES`` keys present)."""
         counts = {name: 0 for name in REQUEST_OUTCOMES}
         for outcome in self.outcomes.values():
             counts[outcome] += 1
         return counts
 
     def to_json(self) -> Dict[str, object]:
+        """Machine-readable rendering for the serve report JSON (NaN -> null)."""
         def _num(value: float) -> Optional[float]:
             return None if math.isnan(value) else round(value, 4)
 
@@ -401,9 +406,16 @@ class ServingReport:
     # (completed requests of the largest continuous replay; the synthetic
     # micro-batch members for the fixed scheduler).
     verified_requests: List[int] = field(default_factory=list)
+    # Plan-replay mode (use_plan=True): where the ExecutionPlan came from
+    # ("derived" | "cache"), its content digest, and the drift-check result
+    # ({"checked": bool, "matches": bool, "mismatches": [...]}).
+    plan_source: Optional[str] = None
+    plan_digest: Optional[str] = None
+    plan_drift: Optional[Dict[str, object]] = None
     per_batch: Dict[int, BatchSizeReport] = field(default_factory=dict)
 
     def rows(self) -> List[List[object]]:
+        """Summary-table rows: one per batch size (see :meth:`summary`)."""
         return [
             [
                 report.batch_size,
@@ -465,6 +477,7 @@ class ServingReport:
         return lines
 
     def summary(self) -> str:
+        """The human serve report: headline, per-batch-size table, SLO section."""
         from ..analysis import format_table
 
         head = (
@@ -486,6 +499,25 @@ class ServingReport:
             )
         if self.fault_spec:
             head += f"\nfault plan: {self.fault_spec}"
+        if self.plan_source is not None:
+            digest = (self.plan_digest or "")[:12]
+            head += (
+                f"\nplan-replay mode: ExecutionPlan {self.plan_source} "
+                f"[{digest}], runs instrumentation-free"
+            )
+            drift = self.plan_drift or {}
+            if not drift.get("checked"):
+                pass  # freshly derived: nothing older to drift from
+            elif drift.get("matches"):
+                head += "; drift check: re-derived plan matches bit-exactly"
+            else:
+                mismatches = drift.get("mismatches") or []
+                head += (
+                    f"\nWARNING plan drift: cached plan diverges from "
+                    f"re-derivation ({len(mismatches)} difference(s): "
+                    + "; ".join(str(m) for m in mismatches[:3])
+                    + ")"
+                )
         table = format_table(
             ["batch", "req/s", "p50 s", "p99 s", "fill", "MAC sav%"],
             self.rows(),
@@ -508,6 +540,7 @@ class ServingReport:
         return "\n".join(part for part in (head, table, util, slo, tail) if part)
 
     def to_json(self) -> Dict[str, object]:
+        """Machine-readable rendering of the whole report (``--out`` payload)."""
         return {
             "benchmark": self.benchmark,
             "num_steps": self.num_steps,
@@ -524,6 +557,9 @@ class ServingReport:
             "fault_spec": self.fault_spec,
             "slo_spec": self.slo_spec,
             "verified_requests": list(self.verified_requests),
+            "plan_source": self.plan_source,
+            "plan_digest": self.plan_digest,
+            "plan_drift": self.plan_drift,
             "per_batch": {
                 str(size): report.to_json()
                 for size, report in self.per_batch.items()
@@ -695,6 +731,7 @@ def _drain_continuous(
     retry_backoff_cap_s: float = 2.0,
     recover: bool = True,
     max_recoveries: int = 8,
+    execution_plan=None,
 ) -> Tuple[
     List[ServedRequest],
     List[float],
@@ -783,7 +820,7 @@ def _drain_continuous(
         if recover and engine_factory is not None and stats.recoveries < max_recoveries:
             stats.recoveries += 1
             engine = engine_factory()
-            fresh = engine.open_session(capacity=capacity)
+            fresh = engine.open_session(capacity=capacity, plan=execution_plan)
             for tag, step_k, x_k in inflight:
                 rng = None
                 if needs_rng:
@@ -795,9 +832,9 @@ def _drain_continuous(
         for tag, _step_k, _x_k in inflight:
             streams.pop(tag, None)
             _finish(tag, "failed", launch_at[tag], 0)
-        return engine.open_session(capacity=capacity)
+        return engine.open_session(capacity=capacity, plan=execution_plan)
 
-    session = engine.open_session(capacity=capacity)
+    session = engine.open_session(capacity=capacity, plan=execution_plan)
     try:
         while i < n or session.occupancy:
             if not session.occupancy and i < n and requests[i].arrival_s > now:
@@ -985,6 +1022,8 @@ def simulate_serving(
     retry_backoff_s: float = 0.05,
     recover: bool = True,
     engine_factory: Optional[Callable[[], DittoEngine]] = None,
+    use_plan: bool = False,
+    plan_cache_dir=None,
 ) -> ServingReport:
     """Replay one request trace at every batch size and report the numbers.
 
@@ -1017,6 +1056,19 @@ def simulate_serving(
     toggles crash recovery, which rebuilds the engine via
     ``engine_factory`` (default: the content-addressed engine-object cache
     for spec-built engines, reopening the same object for prebuilt ones).
+
+    ``use_plan=True`` switches to plan-then-execute mode (``repro serve
+    --plan``, see ``docs/plan-cache.md``): the bitwidth/Defo numbers come
+    from an :class:`~repro.core.plan.ExecutionPlan` loaded from the
+    content-addressed cache (``plan_cache_dir``, default
+    :func:`~repro.runtime.cache.default_cache_dir`) or derived once on miss
+    - instead of one instrumented run *per batch size*.  A cache-hit plan is
+    drift-checked: the derivation run is re-instrumented once and its plan
+    must match the cached artifact bit-exactly; divergence is reported in
+    ``ServingReport.plan_drift``, never raised.  With
+    ``verify_invariance=True`` the batch-1 references are run *instrumented*
+    in this mode, proving the plan-replay path bit-exact against the
+    instrumented path per request.
     """
     if isinstance(spec_or_name, str):
         from ..workloads import get_benchmark
@@ -1083,6 +1135,49 @@ def simulate_serving(
                     sampler=sampler,
                     sampler_eta=sampler_eta,
                 )
+    execution_plan = None
+    plan_source = None
+    plan_drift: Optional[Dict[str, object]] = None
+    if use_plan:
+        from ..core.plan import compare_plans
+        from .cache import ResultCache, default_cache_dir
+        from .hashing import plan_key
+
+        plan_cache = ResultCache(plan_cache_dir or default_cache_dir())
+        key = plan_key(
+            spec,
+            num_steps=steps,
+            calibrate=calibrate,
+            guidance_scale=guidance_scale,
+            sampler=sampler,
+            sampler_eta=sampler_eta,
+            derivation_seed=seed,
+            derivation_batch_size=1,
+        )
+        execution_plan = plan_cache.get(key)
+        if execution_plan is None:
+            # The one instrumented pass of this serve: derive and persist.
+            execution_plan = engine.derive_plan(seed=seed, batch_size=1)
+            plan_cache.put(key, execution_plan)
+            plan_source = "derived"
+            plan_drift = {"checked": False, "matches": True, "mismatches": []}
+        else:
+            plan_source = "cache"
+            # Drift check: replay the exact derivation run (deterministic,
+            # so the digests must match bit-exactly) and report - never
+            # raise - divergence between the cached artifact and what the
+            # current engine actually computes.
+            fresh = engine.derive_plan(
+                seed=execution_plan.derivation_seed,
+                batch_size=execution_plan.derivation_batch_size,
+                hardware=execution_plan.hardware,
+            )
+            mismatches = compare_plans(execution_plan, fresh)
+            plan_drift = {
+                "checked": True,
+                "matches": not mismatches,
+                "mismatches": mismatches,
+            }
     pool_row_cap = None
     if pool_budget_mb is not None:
         pool_row_cap = pool_budget_row_cap(engine, pool_budget_mb)
@@ -1111,6 +1206,9 @@ def simulate_serving(
         pool_row_cap=pool_row_cap,
         fault_spec=fault_spec,
         slo_spec=slo if isinstance(slo, str) else None,
+        plan_source=plan_source,
+        plan_digest=execution_plan.digest if execution_plan is not None else None,
+        plan_drift=plan_drift,
     )
     track_outcomes = bool(slo_classes or fault_spec)
     continuous_samples: Dict[int, np.ndarray] = {}
@@ -1153,6 +1251,7 @@ def simulate_serving(
                     max_retries=max_retries,
                     retry_backoff_s=retry_backoff_s,
                     recover=recover,
+                    execution_plan=execution_plan,
                 )
             continuous_samples = samples  # the largest size's replay wins
             continuous_outcomes = {s.req_id: s.outcome for s in served}
@@ -1169,7 +1268,13 @@ def simulate_serving(
         latencies = np.array([s.latency_s for s in completed])
         first_arrival = min(req.arrival_s for req in requests)
         makespan = max(s.finish_s for s in served) - first_arrival
-        rel_bops, savings = _mac_savings(engine, size, seed)
+        if execution_plan is not None:
+            # Plan-replay: the persisted artifact carries the derived
+            # numbers; no per-batch-size instrumented run at all.
+            rel_bops = execution_plan.temporal_relative_bops
+            savings = execution_plan.mac_savings_pct
+        else:
+            rel_bops, savings = _mac_savings(engine, size, seed)
 
         def _pct(q: float) -> float:
             return float(np.percentile(latencies, q)) if completed else float("nan")
@@ -1213,10 +1318,12 @@ def simulate_serving(
                 noises,
                 continuous_samples,
                 continuous_outcomes,
+                instrumented_reference=use_plan,
             )
         else:
             report.verified_requests = _verify_fixed(
-                spec.name, engine, requests, noises, sizes
+                spec.name, engine, requests, noises, sizes,
+                instrumented_reference=use_plan,
             )
         report.invariance_checked = True
     return report
@@ -1238,12 +1345,18 @@ def _verify_fixed(
     requests: Sequence[Request],
     noises: Sequence[np.ndarray],
     sizes: Sequence[int],
+    instrumented_reference: bool = False,
 ) -> List[int]:
     """Stack the first requests into one micro-batch of the largest
     configured size, re-run them one at a time, and demand bit-exact
     agreement.  Built independently of what the drains happened to form, so
     --verify can never silently verify nothing.  Returns the verified
-    request ids."""
+    request ids.
+
+    ``instrumented_reference=True`` (plan-replay mode) runs the batch-1
+    references with full instrumentation, so the check proves the
+    plan-replay path bit-exact against the *instrumented* path per request
+    rather than against another uninstrumented run."""
     fill = min(sizes[-1], len(requests))
     if fill < 2:
         raise ValueError(
@@ -1261,7 +1374,7 @@ def _verify_fixed(
     for pos, j in enumerate(members):
         single = engine.run(
             x_init=noises[j],
-            record_trace=False,
+            record_trace=instrumented_reference,
             rngs=[requests[j].sampler_rng()],
         ).samples
         if not np.array_equal(batched[pos : pos + 1], single):
@@ -1280,11 +1393,16 @@ def _verify_continuous(
     noises: Sequence[np.ndarray],
     samples: Dict[int, np.ndarray],
     outcomes: Dict[int, str],
+    instrumented_reference: bool = False,
 ) -> List[int]:
     """Every *completed* request of the continuous replay - whatever
     interleaving of admissions, evictions, and recoveries the queue
     produced - must match its seeded batch-1 reference bit-exactly.
-    Returns the verified request ids."""
+    Returns the verified request ids.
+
+    ``instrumented_reference=True`` (plan-replay mode) makes each reference
+    a fully instrumented run, proving plan-replay bit-exact against the
+    instrumented path."""
     completed = sorted(
         rid for rid, outcome in outcomes.items() if outcome == "completed"
     )
@@ -1311,7 +1429,7 @@ def _verify_continuous(
     for j in completed:
         reference = engine.run(
             x_init=noises[j],
-            record_trace=False,
+            record_trace=instrumented_reference,
             rngs=[requests[j].sampler_rng()],
         ).samples
         if not np.array_equal(samples[j], reference):

@@ -98,6 +98,24 @@ def test_bench_records_per_phase_medians(tmp_path):
             assert value == round(statistics.median(per_repeat), 4)
 
 
+def test_bench_records_plan_timings(tmp_path):
+    """PR 9: each by_batch_size record carries the plan-then-execute fields
+    as plain record fields - never as new ``phases`` sections, which stay
+    exactly ``{build, run}`` (the shape check_bench gates per bucket)."""
+    record = bench_benchmark(
+        "DDPM", repeats=2, num_steps=2, cache_dir=str(tmp_path),
+        batch_sizes=(1,),
+    )
+    sized = record["by_batch_size"]["1"]
+    for field in ("plan_derive_s", "plan_replay_run_s", "plain_run_s"):
+        assert sized[field] > 0.0
+        assert record[field] == sized[field]  # headline mirrors batch 1
+    # The derivation includes a full instrumented run; the replay does not.
+    assert sized["plan_derive_s"] > sized["plan_replay_run_s"]
+    for run in record["cold_runs"]:
+        assert set(run["phases"]) == {"build", "run"}
+
+
 def test_bench_respects_calibration_dtype(tmp_path):
     """The escape hatch reaches the engine: a float64 bench run must not
     collide with the float32 default in the result cache."""

@@ -154,9 +154,9 @@ def test_gate_errors_on_unreadable_records(tmp_path, check_bench):
 
 
 def test_gate_against_committed_baseline(check_bench, capsys):
-    """The committed BENCH_PR5.json compared to itself passes - the shape the
+    """The committed BENCH_PR9.json compared to itself passes - the shape the
     perf-smoke job consumes is exactly what `repro bench` wrote."""
-    baseline = str(Path(__file__).resolve().parents[1] / "BENCH_PR5.json")
+    baseline = str(Path(__file__).resolve().parents[1] / "BENCH_PR9.json")
     assert check_bench.main([baseline, "--baseline", baseline]) == 0
     assert "OK" in capsys.readouterr().out
 
@@ -222,6 +222,66 @@ def test_phase_buckets_respect_min_delta_and_normalization(
         _record(speed=0.03, phases={"run": {"im2col": 0.8}}),
     )
     assert check_bench.main([same_host, "--baseline", base]) == 1
+
+
+# -- plan-then-execute floor check (PR 9) ------------------------------------
+
+def _plan_record(replay=0.10, plain=0.10, derive=0.3, **kwargs):
+    record = _record(**kwargs)
+    sized = record["benchmarks"]["DDPM"]["by_batch_size"]["1"]
+    sized["plan_derive_s"] = derive
+    sized["plan_replay_run_s"] = replay
+    sized["plain_run_s"] = plain
+    return record
+
+
+def test_plan_floor_passes_at_the_floor(tmp_path, check_bench, capsys):
+    base = _write(tmp_path, "base.json", _plan_record())
+    fresh = _write(tmp_path, "fresh.json", _plan_record())
+    assert check_bench.main([fresh, "--baseline", base]) == 0
+    out = capsys.readouterr().out
+    assert "plan floor" in out and "plan-floor check(s) passed" in out
+
+
+def test_plan_floor_fails_above_tolerance(tmp_path, check_bench, capsys):
+    # Replay 2x the plain floor, well past 15% and the 50 ms slack.
+    base = _write(tmp_path, "base.json", _plan_record())
+    fresh = _write(tmp_path, "fresh.json", _plan_record(replay=0.20, plain=0.10))
+    assert check_bench.main([fresh, "--baseline", base]) == 1
+    out = capsys.readouterr().out
+    assert "ABOVE FLOOR" in out and "plain-forward floor" in out
+
+
+def test_plan_floor_respects_min_delta_and_env_tol(tmp_path, check_bench,
+                                                   monkeypatch):
+    # A 2x blip on a tiny run rides the absolute slack...
+    base = _write(tmp_path, "base.json", _plan_record(replay=0.002, plain=0.001))
+    fresh = base
+    assert check_bench.main([fresh, "--baseline", base]) == 0
+    # ...and REPRO_PLAN_FLOOR_TOL loosens the relative gate.
+    slow = _write(tmp_path, "slow.json", _plan_record(replay=0.20, plain=0.10))
+    monkeypatch.setenv("REPRO_PLAN_FLOOR_TOL", "1.5")
+    assert check_bench.main([slow, "--baseline", slow]) == 0
+    # Explicit --plan-floor-tol wins over the environment.
+    assert check_bench.main(
+        [slow, "--baseline", slow, "--plan-floor-tol", "0.15"]
+    ) == 1
+
+
+def test_plan_floor_is_within_record_not_vs_baseline(tmp_path, check_bench):
+    """The floor check reads only the fresh record: a baseline without plan
+    fields never blocks it, and baseline plan timings gate cross-record via
+    the ordinary metric comparison (plan_replay_run_s is a gated metric)."""
+    base = _write(tmp_path, "base.json", _record())  # pre-PR9 baseline
+    fresh = _write(tmp_path, "fresh.json", _plan_record(replay=0.20, plain=0.10))
+    assert check_bench.main([fresh, "--baseline", base]) == 1
+    base_plan = _write(tmp_path, "base2.json", _plan_record(replay=0.05))
+    slow_replay = _write(
+        tmp_path, "fresh2.json", _plan_record(replay=0.11, plain=0.10)
+    )
+    # Replay regressed 0.05 -> 0.11 vs baseline (>25% and >50 ms) even though
+    # it sits within 15% of its own plain floor.
+    assert check_bench.main([slow_replay, "--baseline", base_plan]) == 1
 
 
 def test_phaseless_records_still_compare(tmp_path, check_bench):
