@@ -3,13 +3,13 @@
 
 ``repro bench`` writes machine-readable cold/warm timings per benchmark and
 batch size (schema 3, see ``repro.bench``).  This script compares a freshly
-measured record against the committed baseline (``BENCH_PR9.json``) and
+measured record against the committed baseline (``BENCH_PR10.json``) and
 exits non-zero when any timing regressed beyond the tolerance - turning the
 perf-smoke job from an artifact uploader into an actual gate.
 
 Usage::
 
-    python scripts/check_bench.py FRESH.json [--baseline BENCH_PR9.json]
+    python scripts/check_bench.py FRESH.json [--baseline BENCH_PR10.json]
         [--tol 0.25]
 
 The gate is *per phase*, not just per total: ``cold_build_s`` and
@@ -35,6 +35,24 @@ recorded by ``repro bench`` since schema 2 of PR 4), timings are
 runner that is 2x slower than the machine that recorded the baseline also
 measures a ~2x speed index, so the gate compares machine-relative work,
 not raw wall clock.  ``--no-normalize`` forces the raw comparison.
+
+Pluggable backends (PR 10) add a second *within-record* check: the blocked
+stride-2 ``im2col_t`` path must stay rate-competitive with the stride-1
+path.  ``repro bench`` records the stride-split profiler sub-buckets -
+``im2col_s1`` / ``im2col_s2`` seconds and the matching ``im2col_s1_elems``
+/ ``im2col_s2_elems`` element counters - and this script compares the
+*per-element* rates (seconds per gathered element), which is the only
+apples-to-apples comparison when the two strides move different volumes.
+Stride 2 fails when its rate exceeds the stride-1 rate by more than
+``--im2col-parity-tol`` (default 1.0, i.e. within 2x; ``REPRO_IM2COL_TOL``)
+while both buckets carry at least ``--im2col-min-seconds`` of signal
+(default 5 ms, ``REPRO_IM2COL_MIN_S`` - its own floor, far below the
+regression gate's ``min_delta``: stride-2 buckets are milliseconds-sized
+because downsample convs are a small share of the model, and a per-element
+rate derived from a sub-millisecond bucket is per-call overhead, not
+gather throughput).  The element counters themselves are deterministic
+counts, not timings, so the regression gate above skips every ``*_elems``
+bucket.
 
 Plan-then-execute (PR 9) adds a *within-record* acceptance check on the
 fresh measurement: ``plan_replay_run_s`` (the plan-mode serving run) must
@@ -81,6 +99,11 @@ def iter_timings(record):
                     yield bench, size, metric, float(value)
             for section, buckets in (sized.get("phases") or {}).items():
                 for bucket, value in (buckets or {}).items():
+                    # *_elems buckets are deterministic element counts, not
+                    # seconds; host-speed normalization would corrupt them
+                    # and the parity check below consumes them instead.
+                    if bucket.endswith("_elems"):
+                        continue
                     if value is not None:
                         yield bench, size, f"{section}.{bucket}", float(value)
 
@@ -159,14 +182,57 @@ def plan_floor_check(fresh: dict, tolerance: float, min_delta: float):
     return rows, violations
 
 
+def im2col_parity_check(fresh: dict, tolerance: float, min_seconds: float):
+    """Within-record check: stride-2 im2col must be rate-competitive.
+
+    Returns ``(rows, violations)`` where each row is ``(bench, size,
+    section, rate_s2, rate_s1, ratio, violated)`` and the rates are seconds
+    per gathered element, computed from the stride-split profiler
+    sub-buckets (``im2col_s2`` / ``im2col_s2_elems`` vs ``im2col_s1`` /
+    ``im2col_s1_elems``).  Both strides time the same gather on the same
+    machine within one record, so no speed normalization applies.  A
+    section violates parity when the stride-2 rate exceeds the stride-1
+    rate by more than ``tolerance``; sections where either bucket carries
+    less than ``min_seconds`` of wall clock are skipped (a per-element rate
+    derived from scheduler-jitter-sized timings is noise, not signal).
+    Records without the sub-buckets (no stride-2 conv in the model, or an
+    older schema) simply yield no rows.
+    """
+    rows, violations = [], []
+    for bench, rec in fresh.get("benchmarks", {}).items():
+        for size, sized in rec.get("by_batch_size", {}).items():
+            for section, buckets in (sized.get("phases") or {}).items():
+                buckets = buckets or {}
+                s1 = buckets.get("im2col_s1")
+                s1_elems = buckets.get("im2col_s1_elems")
+                s2 = buckets.get("im2col_s2")
+                s2_elems = buckets.get("im2col_s2_elems")
+                if None in (s1, s1_elems, s2, s2_elems):
+                    continue
+                if not s1_elems or not s2_elems:
+                    continue
+                if float(s1) < min_seconds or float(s2) < min_seconds:
+                    continue
+                rate_s1 = float(s1) / float(s1_elems)
+                rate_s2 = float(s2) / float(s2_elems)
+                ratio = rate_s2 / rate_s1 if rate_s1 > 0 else float("inf")
+                violated = rate_s2 > rate_s1 * (1.0 + tolerance)
+                rows.append(
+                    (bench, size, section, rate_s2, rate_s1, ratio, violated)
+                )
+                if violated:
+                    violations.append(rows[-1])
+    return rows, violations
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="fail when a fresh repro-bench record regresses vs baseline"
     )
     parser.add_argument("fresh", help="freshly measured bench JSON")
     parser.add_argument(
-        "--baseline", default="BENCH_PR9.json",
-        help="committed baseline record (default: BENCH_PR9.json)",
+        "--baseline", default="BENCH_PR10.json",
+        help="committed baseline record (default: BENCH_PR10.json)",
     )
     parser.add_argument(
         "--tol", type=float, default=None, metavar="FRACTION",
@@ -187,6 +253,16 @@ def main(argv=None) -> int:
         help="allowed plan_replay_run_s excess over plain_run_s within the "
              "fresh record (default: $REPRO_PLAN_FLOOR_TOL or 0.15)",
     )
+    parser.add_argument(
+        "--im2col-parity-tol", type=float, default=None, metavar="FRACTION",
+        help="allowed stride-2 im2col per-element rate excess over the "
+             "stride-1 rate (default: $REPRO_IM2COL_TOL or 1.0)",
+    )
+    parser.add_argument(
+        "--im2col-min-seconds", type=float, default=None, metavar="SECONDS",
+        help="minimum wall clock BOTH stride buckets must carry before the "
+             "parity rate is trusted (default: $REPRO_IM2COL_MIN_S or 0.005)",
+    )
     args = parser.parse_args(argv)
 
     tolerance = args.tol
@@ -204,6 +280,16 @@ def main(argv=None) -> int:
         floor_tol = float(os.environ.get("REPRO_PLAN_FLOOR_TOL", "0.15"))
     if floor_tol < 0:
         parser.error(f"plan-floor-tol must be >= 0, got {floor_tol}")
+    parity_tol = args.im2col_parity_tol
+    if parity_tol is None:
+        parity_tol = float(os.environ.get("REPRO_IM2COL_TOL", "1.0"))
+    if parity_tol < 0:
+        parser.error(f"im2col-parity-tol must be >= 0, got {parity_tol}")
+    parity_min = args.im2col_min_seconds
+    if parity_min is None:
+        parity_min = float(os.environ.get("REPRO_IM2COL_MIN_S", "0.005"))
+    if parity_min < 0:
+        parser.error(f"im2col-min-seconds must be >= 0, got {parity_min}")
 
     try:
         baseline = json.loads(Path(args.baseline).read_text())
@@ -248,7 +334,20 @@ def main(argv=None) -> int:
             print(f"  {bench} b{size}  replay {replay:8.4f}s vs plain "
                   f"{plain:8.4f}s  x{ratio:5.2f}  {flag}")
 
-    if regressions or floor_violations:
+    # Blocked-stride acceptance: the stride-2 im2col per-element rate must
+    # stay within --im2col-parity-tol of the stride-1 rate.
+    parity_rows, parity_violations = im2col_parity_check(
+        fresh, parity_tol, parity_min
+    )
+    if parity_rows:
+        print(f"im2col parity: stride-2 vs stride-1 seconds/element "
+              f"(tolerance +{100 * parity_tol:.0f}%)")
+        for bench, size, section, r2, r1, ratio, violated in parity_rows:
+            flag = "OFF PARITY" if violated else "ok"
+            print(f"  {bench} b{size} {section}  s2 {r2:.3e} vs s1 "
+                  f"{r1:.3e} s/elem  x{ratio:5.2f}  {flag}")
+
+    if regressions or floor_violations or parity_violations:
         if regressions:
             print(f"\nFAIL: {len(regressions)} timing(s) regressed beyond "
                   f"+{100 * tolerance:.0f}% (override via REPRO_BENCH_TOL)")
@@ -256,10 +355,16 @@ def main(argv=None) -> int:
             print(f"\nFAIL: plan replay above the plain-forward floor in "
                   f"{len(floor_violations)} record(s) (override via "
                   "REPRO_PLAN_FLOOR_TOL)")
+        if parity_violations:
+            print(f"\nFAIL: stride-2 im2col off rate parity in "
+                  f"{len(parity_violations)} section(s) (override via "
+                  "REPRO_IM2COL_TOL)")
         return 1
     print(f"\nOK: {len(rows)} timing(s) within tolerance"
           + (f", {len(floor_rows)} plan-floor check(s) passed"
-             if floor_rows else ""))
+             if floor_rows else "")
+          + (f", {len(parity_rows)} im2col-parity check(s) passed"
+             if parity_rows else ""))
     return 0
 
 

@@ -25,7 +25,9 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from .. import profiling
+from ..defaults import resolve_backend
 from ..diffusion.pipeline import GenerationPipeline, PerElementRNG
+from ..nn import backends
 from ..diffusion.samplers import make_sampler
 from ..diffusion.schedule import DiffusionSchedule
 from ..nn.module import Module
@@ -70,11 +72,35 @@ class DittoEngine:
         qmodel: Module,
         pipeline: GenerationPipeline,
         benchmark: str = "custom",
+        backend: Optional[str] = None,
     ) -> None:
         self.qmodel = qmodel
         self.pipeline = pipeline
         self.benchmark = benchmark
         self.step_clusters = 1
+        # The *requested* compute backend name - what the cache keys embed.
+        # Availability fallback (recorded in backend_fallback_reason) happens
+        # per-process at dispatch time; a pickled engine carries only the
+        # name, so an engine cached on a BLAS-capable host degrades cleanly
+        # when reloaded somewhere poorer.
+        self.backend = resolve_backend(None, backend)
+
+    @property
+    def effective_backend(self) -> str:
+        """The backend this process actually dispatches to (after fallback)."""
+        effective, _ = backends.probe_backend(self.backend)
+        return effective
+
+    @property
+    def backend_fallback_reason(self) -> Optional[str]:
+        """Why the requested backend degraded here, or ``None`` if native.
+
+        A property, not a stored field: an engine unpickled from the result
+        cache re-probes on the *current* host, so the reason reflects this
+        process rather than the one that built the engine.
+        """
+        _, reason = backends.probe_backend(self.backend)
+        return reason
 
     # -- constructors ------------------------------------------------------
     @classmethod
@@ -94,6 +120,7 @@ class DittoEngine:
         uncond_conditioning: Optional[dict] = None,
         sampler_eta: Optional[float] = None,
         calibration_dtype: Optional[str] = None,
+        backend: Optional[str] = None,
     ) -> "DittoEngine":
         """Quantize ``fp_model`` (optionally trajectory-calibrated) and wrap it.
 
@@ -113,6 +140,10 @@ class DittoEngine:
         peaks move by ulps, far below quantization resolution; see
         :func:`repro.quant.calibration.calibration_precision`) or
         ``"float64"`` for the legacy exact trajectory.
+
+        ``backend`` selects the compute backend (see
+        :mod:`repro.nn.backends`); the calibration trajectory runs under it
+        too, so an engine's scales are wholly a product of one backend.
         """
         schedule = DiffusionSchedule(num_train_steps)
         sampler = make_sampler(sampler_name, schedule, num_steps, eta=sampler_eta)
@@ -131,10 +162,12 @@ class DittoEngine:
 
         rng = np.random.default_rng(calibration_seed)
         cal_dtype = resolve_calibration_dtype(None, calibration_dtype)
+        backend = resolve_backend(None, backend)
 
         def run_trajectory():
             with profiling.phase("trajectory"):
-                return pipeline.generate(1, rng)
+                with backends.use_backend(backend):
+                    return pipeline.generate(1, rng)
 
         if step_clusters > 1:
             from ..quant.calibration import calibrate_model_clustered
@@ -175,7 +208,7 @@ class DittoEngine:
             with profiling.phase("quantize"):
                 qmodel = quantize_model(fp_model, calibration=scales)
         pipeline.model = qmodel
-        engine = cls(qmodel, pipeline, benchmark=benchmark)
+        engine = cls(qmodel, pipeline, benchmark=benchmark, backend=backend)
         engine.step_clusters = step_clusters
         return engine
 
@@ -191,6 +224,7 @@ class DittoEngine:
         sampler: Optional[str] = None,
         sampler_eta: Optional[float] = None,
         calibration_dtype: Optional[str] = None,
+        backend: Optional[str] = None,
     ) -> "DittoEngine":
         """Build an engine from a Table I :class:`BenchmarkSpec`.
 
@@ -201,13 +235,16 @@ class DittoEngine:
         serve a benchmark under stochastic DDPM ancestral sampling).
         ``calibration_dtype`` overrides the spec's calibration-trajectory
         precision (default: the float32 fast path; ``"float64"`` is the
-        escape hatch - see :meth:`from_model`).
+        escape hatch - see :meth:`from_model`).  ``backend`` overrides the
+        spec's compute-backend pin (resolution:
+        :func:`repro.defaults.resolve_backend`).
         """
         from ..defaults import resolve_calibration_dtype
 
         fp_model = spec.build_model()
         conditioning = spec.build_conditioning()
         calibration_dtype = resolve_calibration_dtype(spec, calibration_dtype)
+        backend = resolve_backend(spec, backend)
         if guidance_scale is None:
             guidance_scale = getattr(spec, "guidance_scale", None)
         uncond_conditioning = None
@@ -233,6 +270,7 @@ class DittoEngine:
             guidance_scale=guidance_scale,
             uncond_conditioning=uncond_conditioning,
             calibration_dtype=calibration_dtype,
+            backend=backend,
         )
 
     # -- static analysis -----------------------------------------------------
@@ -252,7 +290,8 @@ class DittoEngine:
         reset_model_state(self.qmodel)
         set_model_mode(self.qmodel, ExecutionMode.DENSE)
         probe_fn = self._probe_fn(batch_size)
-        info = GraphAnalyzer(self.qmodel).analyze(probe_fn)
+        with backends.use_backend(self.backend):
+            info = GraphAnalyzer(self.qmodel).analyze(probe_fn)
         reset_model_state(self.qmodel)
         return info
 
@@ -280,7 +319,8 @@ class DittoEngine:
 
         reset_model_state(self.qmodel)
         set_model_mode(self.qmodel, ExecutionMode.DENSE)
-        self._probe_fn(batch_size)()
+        with backends.use_backend(self.backend):
+            self._probe_fn(batch_size)()
         reset_model_state(self.qmodel)
 
     def _scales_frozen(self) -> bool:
@@ -441,14 +481,15 @@ class DittoEngine:
         self.pipeline.predict_noise = counted_predict
         try:
             if record_trace:
-                with recorder:
+                with recorder, backends.use_backend(self.backend):
                     samples = self.pipeline.generate(
                         batch_size, rng, x_init=x_init
                     )
             else:
-                samples = self.pipeline.generate(
-                    batch_size, rng, x_init=x_init
-                )
+                with backends.use_backend(self.backend):
+                    samples = self.pipeline.generate(
+                        batch_size, rng, x_init=x_init
+                    )
         finally:
             self.pipeline.predict_noise = original_predict
             set_active_step(None)

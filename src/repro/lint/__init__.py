@@ -1,9 +1,10 @@
 """``repro lint``: AST invariant checkers + runtime numeric sanitizer.
 
-Static side (``repro lint`` / ``python -m repro.lint``): ten repo-specific
+Static side (``repro lint`` / ``python -m repro.lint``): eleven repo-specific
 rules over ``src/repro`` (plus ``scripts/`` and the lintable test helpers) -
-RPL001-RPL006 are syntactic (see :mod:`repro.lint.checkers`), RPL007-RPL010
-ride the interprocedural dataflow engine (:mod:`repro.lint.dataflow`).  See
+RPL001-RPL006 and RPL011 are syntactic (see :mod:`repro.lint.checkers`),
+RPL007-RPL010 ride the interprocedural dataflow engine
+(:mod:`repro.lint.dataflow`).  See
 README "Invariants & static checks" for the rule table.  Exit status is 0
 when the repo is clean (modulo baseline), 1 otherwise.
 
@@ -54,7 +55,7 @@ def _default_root() -> Path:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro lint",
-        description="Run the repo's AST invariant checkers (RPL001-RPL010).",
+        description="Run the repo's AST invariant checkers (RPL001-RPL011).",
     )
     parser.add_argument(
         "--root",

@@ -1,10 +1,10 @@
-"""The repo-specific invariant checkers (RPL001-RPL006).
+"""The repo-specific invariant checkers (RPL001-RPL006, RPL011).
 
 Each rule encodes a contract that a past PR violated by hand before being
 fixed by inspection; see README "Invariants & static checks" for the full
 contract table and suppression instructions.  The dataflow-backed rules
 (RPL007-RPL010) live in :mod:`repro.lint.dataflow.rules`;
-:func:`default_checkers` returns all ten.
+:func:`default_checkers` returns all eleven.
 """
 
 from __future__ import annotations
@@ -22,6 +22,7 @@ __all__ = [
     "ProfilerPhaseChecker",
     "GemmLayoutChecker",
     "SwallowedExceptionChecker",
+    "BackendDispatchChecker",
     "default_checkers",
 ]
 
@@ -681,6 +682,32 @@ _GEMM_SINKS = {"conv2d_from_cols", "conv2d_from_cols_t", "linear", "matmul", "do
 _VIEW_METHODS = {"transpose", "swapaxes", "reshape"}
 
 
+# Receiver spellings of the compute-backend dispatch surface (PR 10):
+# ``bk = backends.active(); bk.matmul(...)`` or ``backends.active().linear(...)``.
+_BACKEND_RECEIVERS = {"bk", "backend", "backends"}
+
+
+def is_backend_dispatch(node: ast.AST) -> bool:
+    """True for calls routed through the compute-backend dispatch.
+
+    The dispatch surface owns operand layout - a backend may materialize or
+    re-block strided views internally (the blas-batched gather does exactly
+    that) - so the layout rules treat dispatched calls as sanctioned and
+    keep watching the raw kernels, including the backend implementations
+    themselves.
+    """
+    if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+        return False
+    recv = node.func.value
+    if isinstance(recv, ast.Name) and recv.id in _BACKEND_RECEIVERS:
+        return True
+    return (
+        isinstance(recv, ast.Call)
+        and isinstance(recv.func, ast.Attribute)
+        and recv.func.attr == "active"
+    )
+
+
 def is_direct_strided_view(node: ast.AST) -> bool:
     """Syntactic ``.T`` / ``.transpose()`` / ``.reshape()`` view expression.
 
@@ -728,6 +755,8 @@ class GemmLayoutChecker(Checker):
                 continue
             callee = _attr_call_name(node)
             if callee not in _GEMM_SINKS:
+                continue
+            if is_backend_dispatch(node):
                 continue
             # np.dot/np.matmul check both operands; the repo kernels take the
             # layout-critical cols/data operand first.
@@ -826,6 +855,125 @@ class SwallowedExceptionChecker(Checker):
         return False
 
 
+# ---------------------------------------------------------------------------
+# RPL011 - quantized GEMMs must go through the compute-backend dispatch
+# ---------------------------------------------------------------------------
+
+# The backend package is the one place allowed to spell raw products: it IS
+# the dispatch target.
+_BACKEND_DIR_RE = re.compile(r"src/repro/nn/backends/")
+_RAW_GEMM_CALLS = {"matmul", "einsum"}
+
+# Operand spellings that carry quantized-integer evidence in this codebase:
+# the q_*-prefixed quantized activations/weights, the qq/qk/qv/qp/dq/dk/dv/dp
+# attention operand idiom, temporal diffs and prev_* carries, and *_int
+# accumulators.  A raw product over such operands is exactly the GEMM the
+# backend interface exists to own.
+_QUANT_NAME_RE = re.compile(
+    r"^(qq|qk|qv|qp|dq|dk|dv|dp)$"
+    r"|^(q|int|diff|quant)_"
+    r"|^(diff|prev)"
+    r"|_(q|int|cols)$"
+)
+
+
+class BackendDispatchChecker(Checker):
+    """RPL011: raw ``@`` / ``np.matmul`` / ``np.einsum`` on quantized operands.
+
+    PR 10 routes every integer GEMM through
+    ``repro.nn.backends.active()`` so alternative backends (``blas-batched``)
+    can re-block the products under the exact-f32 gate and so the backend
+    axis in the engine cache key actually governs the math that runs.  A raw
+    matmul on quantized operands outside ``src/repro/nn/backends/`` silently
+    pins that product to numpy regardless of the selected backend - the
+    bench records a backend the hot loop never used.  Use
+    ``backends.active().matmul(...)`` (or ``linear`` /
+    ``conv2d_from_cols_t``), or annotate ``# repro-lint: ignore[RPL011]``
+    when the product is genuinely backend-independent.
+
+    The operand test is the name heuristic above refined by the dataflow
+    engine: operands it proves non-array (plain scalars that merely reuse a
+    quantized-sounding name) never fire.
+    """
+
+    rule = "RPL011"
+    title = "quantized GEMM bypassing the compute-backend dispatch"
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        from .dataflow.rules import engine_for
+
+        engine = engine_for(project)
+        findings: List[Finding] = []
+        for handle in project.files.values():
+            if handle.scope not in self.scopes:
+                continue
+            findings.extend(self._check_handle(handle, engine))
+        return findings
+
+    def _check_handle(self, handle: SourceFile, engine=None) -> List[Finding]:
+        if not _GEMM_DIR_RE.search(handle.rel_path):
+            return []
+        if _BACKEND_DIR_RE.search(handle.rel_path):
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(handle.tree):
+            site, operands = self._raw_gemm(node)
+            if site is None:
+                continue
+            quantized = [op for op in operands if self._is_quantized(op)]
+            if not quantized:
+                continue
+            # Dataflow refinement: when every quantized-named operand is
+            # provably non-array (a float knob reusing a quantized-sounding
+            # name), this is scalar math, not a GEMM.
+            if engine is not None and all(
+                engine.value_of(op).array is False for op in quantized
+            ):
+                continue
+            shown = ", ".join(ast.unparse(op) for op in quantized)
+            findings.append(
+                Finding(
+                    path=handle.rel_path,
+                    line=node.lineno,
+                    rule=self.rule,
+                    message=(
+                        f"raw {site} on quantized operand(s) {shown} bypasses "
+                        f"the compute-backend dispatch; route through "
+                        f"repro.nn.backends.active() so the selected backend "
+                        f"owns every integer GEMM"
+                    ),
+                )
+            )
+        return findings
+
+    def _raw_gemm(self, node: ast.AST):
+        """``(site_label, operand_nodes)`` for raw-product sites, else None."""
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.MatMult):
+            return "@", [node.left, node.right]
+        if isinstance(node, ast.Call) and _is_numpy_call(node, _RAW_GEMM_CALLS):
+            fn = node.func.attr  # type: ignore[union-attr]
+            operands = list(node.args)
+            # np.einsum("subscripts", *operands): skip the subscript string.
+            if fn == "einsum" and operands and isinstance(operands[0], ast.Constant):
+                operands = operands[1:]
+            return f"np.{fn}", operands
+        return None, []
+
+    def _is_quantized(self, node: ast.AST) -> bool:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and _QUANT_NAME_RE.search(sub.id):
+                return True
+            if isinstance(sub, ast.Attribute) and _QUANT_NAME_RE.search(sub.attr):
+                return True
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr == "quantize"
+            ):
+                return True
+        return False
+
+
 def default_checkers() -> List[Checker]:
     # Imported lazily: dataflow.rules imports the sink sets from this module.
     from .dataflow.rules import (
@@ -846,4 +994,5 @@ def default_checkers() -> List[Checker]:
         LayoutFlowChecker(),
         RngStreamChecker(),
         SessionLifecycleChecker(),
+        BackendDispatchChecker(),
     ]

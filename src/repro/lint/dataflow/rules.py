@@ -17,7 +17,12 @@ from __future__ import annotations
 import ast
 from typing import Iterable, List, Optional, Set
 
-from ..checkers import _GEMM_DIR_RE, _GEMM_SINKS, is_direct_strided_view
+from ..checkers import (
+    _GEMM_DIR_RE,
+    _GEMM_SINKS,
+    is_backend_dispatch,
+    is_direct_strided_view,
+)
 from ..framework import Checker, Finding, Project, SourceFile
 from ..runtime import COLS_CHECKED_KERNELS, DTYPE_CHECKED_KERNELS
 from .interp import CallFact, DataflowEngine, DrawFact, _assumptions
@@ -140,6 +145,8 @@ class LayoutFlowChecker(_DataflowChecker):
         for fact in engine.all_calls():
             if fact.func_name not in _GEMM_SINKS:
                 continue
+            if is_backend_dispatch(fact.node):
+                continue  # the dispatch surface owns operand layout
             handle = self._handle(project, fact.path)
             if handle is None:
                 continue

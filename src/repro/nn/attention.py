@@ -22,6 +22,7 @@ from typing import Optional
 
 import numpy as np
 
+from . import backends
 from . import functional as F
 from .layers import Linear
 from .module import Module
@@ -72,10 +73,14 @@ class Attention(Module):
         # Python float, not np.float64 scalar: a float64 scalar divisor
         # would promote the float32 calibration fast path back to float64
         # under NEP 50 (identical double value either way).
-        return (q @ k.transpose(0, 1, 3, 2)) / float(np.sqrt(self.head_dim))
+        # Transposed-K and head-split views are the batched-attention idiom:
+        # numpy's batched matmul consumes the stride-swapped trailing axes
+        # without a copy, and the backend owns any re-blocking it wants.
+        qk = backends.active().matmul(q, k.transpose(0, 1, 3, 2))
+        return qk / float(np.sqrt(self.head_dim))
 
     def attend(self, probs: np.ndarray, v: np.ndarray) -> np.ndarray:
-        return probs @ v
+        return backends.active().matmul(probs, v)
 
     def forward(self, x: np.ndarray, context: Optional[np.ndarray] = None) -> np.ndarray:
         source = context if context is not None else x

@@ -1,0 +1,37 @@
+"""The ``reference`` backend: the pure-numpy kernels, verbatim.
+
+Every op delegates straight to :mod:`repro.nn.functional`, so this backend
+*is* the pre-PR-10 behaviour - the bit-exactness anchor the golden
+equivalence suite and the serving ``--verify`` references are defined
+against.  It is always available and is what unavailable backends degrade
+to.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .. import functional as F
+from . import ComputeBackend
+
+
+class ReferenceBackend(ComputeBackend):
+    """Pure-numpy dispatch: batched ``np.matmul`` GEMMs, blocked im2col."""
+
+    name = "reference"
+
+    def linear(
+        self, x: np.ndarray, weight: np.ndarray, bias: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        return F.linear(x, weight, bias)
+
+    def conv2d_from_cols_t(
+        self,
+        cols_t: np.ndarray,
+        weight: np.ndarray,
+        out_hw: Tuple[int, int],
+        bias: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        return F.conv2d_from_cols_t(cols_t, weight, out_hw, bias)

@@ -292,8 +292,22 @@ def im2col_t(
     matching GEMM (:func:`conv2d_from_cols_t`) then emits NCHW outputs
     directly, with no transposed view for downstream consumers to trip on.
 
-    ``stride > 1`` falls back to the strided-window copy (same transposed
-    layout), so callers get one layout for every conv.
+    ``stride > 1`` (the ``Downsample`` / VAE-encoder convs) now runs the
+    *same* blocked scheme instead of the old monolithic 6-d
+    ``as_strided`` window gather: each kernel offset ``(ki, kj)`` copies
+    its whole shifted block in one call - the source rows are the
+    stride-``s`` slices ``x[:, :, ki::s, kj::s]`` - so the unfold is
+    ``k*k`` block copies for every stride, one code shape, no
+    manufactured striding.  (numpy's strided-copy iterator already
+    gathers the contiguous ``k``-element source runs along the kernel
+    axis in either formulation; the blocked form makes that structure
+    explicit, removes the repo's last writeable=False ``as_strided``
+    alias on the hot path, and is what a thread-per-block variant would
+    split.)  The per-stride cost is attributed to the ``im2col_s1`` /
+    ``im2col_s2`` profiling sub-buckets (plus ``im2col_s1_elems`` /
+    ``im2col_s2_elems`` element counters) so the stride-2-vs-stride-1
+    per-element parity claim is *gated* by ``scripts/check_bench.py``
+    against ``BENCH_PR10.json``, not asserted.
     """
     prof = profiling.active()
     t0 = _perf_counter() if prof is not None else 0.0
@@ -329,17 +343,32 @@ def im2col_t(
                     view6[:, :, ki, kj],
                     x[:, :, ki : ki + out_h, kj : kj + out_w],
                 )
+    elif kernel == 1:
+        # 1x1 stride-s conv: the unfold is a single decimated block copy.
+        np.copyto(view6[:, :, 0, 0], x[:, :, ::stride, ::stride])
     else:
-        s_n, s_c, s_h, s_w = x.strides
-        windows = np.lib.stride_tricks.as_strided(
-            x,
-            shape=(n, c, kernel, kernel, out_h, out_w),
-            strides=(s_n, s_c, s_h, s_w, s_h * stride, s_w * stride),
-            writeable=False,
-        )
-        np.copyto(view6, windows)
+        # Blocked stride-s gather (see docstring): the stride-1 scheme with
+        # the source block decimated - one shifted block copy per kernel
+        # offset, no 6-d as_strided window view.
+        h_stop = (out_h - 1) * stride + 1
+        w_stop = (out_w - 1) * stride + 1
+        for ki in range(kernel):
+            for kj in range(kernel):
+                np.copyto(
+                    view6[:, :, ki, kj],
+                    x[:, :, ki : ki + h_stop : stride, kj : kj + w_stop : stride],
+                )
     if prof is not None:
-        prof.add("im2col", _perf_counter() - t0)
+        elapsed = _perf_counter() - t0
+        prof.add("im2col", elapsed)
+        # Per-stride sub-buckets: check_bench.py gates stride-2 per-element
+        # parity with stride-1 from these (seconds + element counters).
+        if stride == 1:
+            prof.add("im2col_s1", elapsed)
+            prof.add("im2col_s1_elems", float(cols_t.size))
+        else:
+            prof.add("im2col_s2", elapsed)
+            prof.add("im2col_s2_elems", float(cols_t.size))
     return cols_t, (out_h, out_w)
 
 

@@ -17,6 +17,7 @@ from typing import Iterable, List, Optional
 
 import numpy as np
 
+from . import backends
 from . import functional as F
 from .module import Module, Parameter
 
@@ -65,7 +66,7 @@ class Linear(Module):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         bias = self.bias.data if self.bias is not None else None
-        return F.linear(x, self.weight.data, bias)
+        return backends.active().linear(x, self.weight.data, bias)
 
     def extra_repr(self) -> str:
         return f"in={self.in_features}, out={self.out_features}"
@@ -101,7 +102,9 @@ class Conv2d(Module):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         bias = self.bias.data if self.bias is not None else None
-        return F.conv2d(x, self.weight.data, bias, self.stride, self.padding)
+        return backends.active().conv2d(
+            x, self.weight.data, bias, self.stride, self.padding
+        )
 
     def extra_repr(self) -> str:
         return (

@@ -28,6 +28,7 @@ import numpy as np
 from ..core.bitwidth import BitWidthStats, classify, classify_many
 from ..core.modes import ExecutionMode
 from ..core.trace import RichLayerStep, TraceRecorder, record_step
+from ..nn import backends
 from ..nn import functional as F
 from ..nn.attention import Attention
 from ..nn.layers import Conv2d, Linear
@@ -351,13 +352,14 @@ class QLinear(QLayerBase):
         diff = self._temporal_diff(q_in)
         mode = self._effective_mode(diff)
         q_weight = self._q_weight_f32 if self._use_f32 else self.q_weight
+        bk = backends.active()
         if mode is ExecutionMode.TEMPORAL:
             # float64 + float32 upcasts exactly; the sum runs in float64.
-            out_int = self._prev_out_int + diff @ q_weight.T
+            out_int = self._prev_out_int + bk.linear(diff, q_weight)
         else:
             # Dense and spatial paths share arithmetic: the spatial path's
             # row-cumulative reconstruction telescopes to the plain matmul.
-            out_int = q_in @ q_weight.T
+            out_int = bk.linear(q_in, q_weight)
             if out_int.dtype != np.float64:
                 out_int = out_int.astype(np.float64)
         # weight_scale is a scalar (per-tensor) or an (out,) vector
@@ -507,7 +509,8 @@ class QConv2d(QLayerBase):
         out_h = (h + 2 * self.padding - self.kernel_size) // self.stride + 1
         out_w = (w + 2 * self.padding - self.kernel_size) // self.stride + 1
         dot_len = self.in_channels * self.kernel_size * self.kernel_size
-        cols, out_hw = F.im2col_t(
+        bk = backends.active()
+        cols, out_hw = bk.im2col_t(
             q_in,
             self.kernel_size,
             self.stride,
@@ -523,13 +526,13 @@ class QConv2d(QLayerBase):
                     prev_cols,
                     out=F.scratch_buffer("tdiff", cols.shape, cols.dtype),
                 )
-                conv = F.conv2d_from_cols_t(diff_cols, q_weight, out_hw)
+                conv = bk.conv2d_from_cols_t(diff_cols, q_weight, out_hw)
             else:  # state predates the cols cache (defensive)
-                conv = F.conv2d(diff, self.q_weight, None, self.stride, self.padding)
+                conv = bk.conv2d(diff, self.q_weight, None, self.stride, self.padding)
             # float64 + float32 upcasts exactly; the sum runs in float64.
             out_int = self._prev_out_int + conv
         else:
-            out_int = F.conv2d_from_cols_t(cols, q_weight, out_hw)
+            out_int = bk.conv2d_from_cols_t(cols, q_weight, out_hw)
             if out_int.dtype != np.float64:
                 out_int = out_int.astype(np.float64)
         w_scale = self.weight_scale
@@ -741,15 +744,23 @@ class QAttention(QLayerBase):
         mode = self.mode
         if mode is ExecutionMode.TEMPORAL and not have_state:
             mode = ExecutionMode.DENSE
+        bk = backends.active()
         kt = qk.transpose(0, 1, 3, 2)
+        # The transposed-K views below are intentional: batched matmul eats
+        # the stride-swapped trailing axes copy-free, and the backend owns
+        # any materialization its blocking wants.
         if mode is ExecutionMode.TEMPORAL:
             if self.is_cross:
-                s_int = prev_s + dq @ kt
+                s_int = prev_s + bk.matmul(dq, kt)
             else:
                 # Q_t K_t^T = S_{t+1} + Q_t dK^T + dQ K_{t+1}^T
-                s_int = prev_s + qq @ (dk.transpose(0, 1, 3, 2)) + dq @ prev_k.transpose(0, 1, 3, 2)
+                s_int = (
+                    prev_s
+                    + bk.matmul(qq, dk.transpose(0, 1, 3, 2))
+                    + bk.matmul(dq, prev_k.transpose(0, 1, 3, 2))
+                )
         else:
-            s_int = qq @ kt
+            s_int = bk.matmul(qq, kt)
         if s_int.dtype != np.float64:  # exact-f32 GEMM, f64 state downstream
             s_int = s_int.astype(np.float64)
         self._record_matmul(
@@ -777,14 +788,15 @@ class QAttention(QLayerBase):
         mode = self.mode
         if mode is ExecutionMode.TEMPORAL and not have_state:
             mode = ExecutionMode.DENSE
+        bk = backends.active()
         if mode is ExecutionMode.TEMPORAL:
             if self.is_cross:
-                o_int = prev_o + dp @ qv
+                o_int = prev_o + bk.matmul(dp, qv)
             else:
                 # P_t V_t = O_{t+1} + P_t dV + dP V_{t+1}
-                o_int = prev_o + qp @ dv + dp @ prev_v
+                o_int = prev_o + bk.matmul(qp, dv) + bk.matmul(dp, prev_v)
         else:
-            o_int = qp @ qv
+            o_int = bk.matmul(qp, qv)
         if o_int.dtype != np.float64:  # exact-f32 GEMM, f64 state downstream
             o_int = o_int.astype(np.float64)
         self._record_matmul(

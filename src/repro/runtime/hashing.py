@@ -24,7 +24,7 @@ import json
 from pathlib import Path
 from typing import Any, Callable, Dict, Mapping, Optional
 
-from ..defaults import resolve_calibration_dtype
+from ..defaults import resolve_backend, resolve_calibration_dtype
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
@@ -131,6 +131,9 @@ def spec_signature(spec) -> Dict[str, Any]:
         # Normalized like BenchmarkSpec.signature(): an explicit default pin
         # is behaviorally identical to None and must share cache entries.
         "calibration_dtype": resolve_calibration_dtype(spec),
+        # The *requested* compute backend; availability fallback never
+        # collapses this axis, so degraded runs cannot alias native ones.
+        "backend": resolve_backend(spec),
     }
 
 
@@ -144,6 +147,7 @@ def engine_key(
     batch_size: int = 1,
     guidance_scale: Optional[float] = None,
     calibration_dtype: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> str:
     """Cache key for one instrumented :class:`EngineResult`.
 
@@ -151,7 +155,10 @@ def engine_key(
     :func:`repro.defaults.resolve_calibration_dtype` rule -
     exactly how ``DittoEngine.from_benchmark`` resolves it - so equivalent
     invocations share one entry while differently-calibrated engines can
-    never collide.
+    never collide.  ``backend`` normalizes the same way through
+    :func:`repro.defaults.resolve_backend`: the float calibration products
+    may drift in the last ulp across backends, so their results must never
+    share an entry.
     """
     resolved_cal_dtype = resolve_calibration_dtype(spec, calibration_dtype)
     return stable_hash(
@@ -167,6 +174,7 @@ def engine_key(
             "batch_size": batch_size,
             "guidance_scale": guidance_scale,
             "calibration_dtype": str(resolved_cal_dtype),
+            "backend": resolve_backend(spec, backend),
         }
     )
 
@@ -181,6 +189,7 @@ def engine_build_key(
     sampler: Optional[str] = None,
     sampler_eta: Optional[float] = None,
     calibration_dtype: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> str:
     """Cache key for one built :class:`DittoEngine` *object*.
 
@@ -204,6 +213,7 @@ def engine_build_key(
             "sampler": sampler,
             "sampler_eta": sampler_eta,
             "calibration_dtype": str(resolved_cal_dtype),
+            "backend": resolve_backend(spec, backend),
         }
     )
 
@@ -218,6 +228,7 @@ def plan_key(
     sampler: Optional[str] = None,
     sampler_eta: Optional[float] = None,
     calibration_dtype: Optional[str] = None,
+    backend: Optional[str] = None,
     derivation_seed: int = 0,
     derivation_batch_size: int = 1,
     hardware: str = "Ditto",
@@ -247,6 +258,7 @@ def plan_key(
             "sampler": sampler,
             "sampler_eta": sampler_eta,
             "calibration_dtype": str(resolved_cal_dtype),
+            "backend": resolve_backend(spec, backend),
             "derivation_seed": derivation_seed,
             "derivation_batch_size": derivation_batch_size,
             "hardware": hardware,

@@ -55,8 +55,24 @@ def test_hot_kernels_report_into_active_profiler():
         F.im2col(x, 3, 1, 1)
     assert prof.buckets["norm"] > 0.0
     assert prof.buckets["im2col"] > 0.0
+    # im2col_t additionally attributes its cost per stride class (PR 10):
+    # seconds plus an element counter, feeding the check_bench parity gate.
+    assert prof.buckets["im2col_s1"] > 0.0
+    assert prof.buckets["im2col_s1_elems"] == float(
+        F.im2col_t(x, 3, 1, 1)[0].size
+    )
     snap = prof.snapshot()
-    assert set(snap) == {"norm", "im2col"}
+    assert set(snap) == {"norm", "im2col", "im2col_s1", "im2col_s1_elems"}
+
+
+def test_im2col_t_stride2_reports_its_own_bucket():
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal((1, 4, 9, 9))
+    with profiling.profile() as prof:
+        cols_t, _ = F.im2col_t(x, 3, 2, 1)
+    assert prof.buckets["im2col_s2"] > 0.0
+    assert prof.buckets["im2col_s2_elems"] == float(cols_t.size)
+    assert "im2col_s1" not in prof.buckets
 
 
 # -- the bench record --------------------------------------------------------

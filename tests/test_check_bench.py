@@ -154,9 +154,9 @@ def test_gate_errors_on_unreadable_records(tmp_path, check_bench):
 
 
 def test_gate_against_committed_baseline(check_bench, capsys):
-    """The committed BENCH_PR9.json compared to itself passes - the shape the
+    """The committed BENCH_PR10.json compared to itself passes - the shape the
     perf-smoke job consumes is exactly what `repro bench` wrote."""
-    baseline = str(Path(__file__).resolve().parents[1] / "BENCH_PR9.json")
+    baseline = str(Path(__file__).resolve().parents[1] / "BENCH_PR10.json")
     assert check_bench.main([baseline, "--baseline", baseline]) == 0
     assert "OK" in capsys.readouterr().out
 
@@ -282,6 +282,97 @@ def test_plan_floor_is_within_record_not_vs_baseline(tmp_path, check_bench):
     # Replay regressed 0.05 -> 0.11 vs baseline (>25% and >50 ms) even though
     # it sits within 15% of its own plain floor.
     assert check_bench.main([slow_replay, "--baseline", base_plan]) == 1
+
+
+# -- stride-2 im2col parity check (PR 10) ------------------------------------
+
+def _parity_record(s1=0.2, s1_elems=1000.0, s2=0.2, s2_elems=1000.0, **kwargs):
+    record = _record(**kwargs)
+    sized = record["benchmarks"]["DDPM"]["by_batch_size"]["1"]
+    sized.setdefault("phases", {})["run"] = {
+        "im2col_s1": s1, "im2col_s1_elems": s1_elems,
+        "im2col_s2": s2, "im2col_s2_elems": s2_elems,
+    }
+    return record
+
+
+def test_im2col_parity_passes_at_equal_rates(tmp_path, check_bench, capsys):
+    rec = _write(tmp_path, "rec.json", _parity_record())
+    assert check_bench.main([rec, "--baseline", rec]) == 0
+    out = capsys.readouterr().out
+    assert "im2col parity" in out and "im2col-parity check(s) passed" in out
+
+
+def test_im2col_parity_fails_beyond_tolerance(tmp_path, check_bench, capsys):
+    # Same element count, 3x the seconds: the stride-2 per-element rate is
+    # 3x stride-1, past the default within-2x tolerance.
+    rec = _write(tmp_path, "rec.json", _parity_record(s2=0.6))
+    assert check_bench.main([rec, "--baseline", rec]) == 1
+    out = capsys.readouterr().out
+    assert "OFF PARITY" in out and "FAIL" in out
+
+
+def test_im2col_parity_is_per_element_not_per_second(tmp_path, check_bench):
+    """3x the wall clock over 4x the elements is a parity *win*: only the
+    per-element gather rate is gated, never the bucket totals (those are
+    covered by the ordinary cross-record phase gate)."""
+    rec = _write(
+        tmp_path, "rec.json", _parity_record(s2=0.6, s2_elems=4000.0)
+    )
+    assert check_bench.main([rec, "--baseline", rec]) == 0
+
+
+def test_im2col_parity_tol_flag_and_env(tmp_path, check_bench, monkeypatch):
+    rec = _write(tmp_path, "rec.json", _parity_record(s2=0.6))
+    monkeypatch.setenv("REPRO_IM2COL_TOL", "3.0")
+    assert check_bench.main([rec, "--baseline", rec]) == 0
+    # Explicit --im2col-parity-tol wins over the environment.
+    assert check_bench.main(
+        [rec, "--baseline", rec, "--im2col-parity-tol", "0.5"]
+    ) == 1
+
+
+def test_im2col_parity_skips_tiny_buckets_and_missing_fields(
+    tmp_path, check_bench
+):
+    # Buckets under the parity signal floor (5 ms default) are per-call
+    # overhead, not gather throughput.
+    tiny = _write(
+        tmp_path, "tiny.json", _parity_record(s1=0.002, s2=0.006)
+    )
+    assert check_bench.main([tiny, "--baseline", tiny]) == 0
+    # Lowering the floor re-engages the check (rate ratio 3x here).
+    assert check_bench.main(
+        [tiny, "--baseline", tiny, "--im2col-min-seconds", "0.001"]
+    ) == 1
+    # Records without the stride sub-buckets (pre-PR10) never trip the check.
+    plain = _write(
+        tmp_path, "plain.json",
+        _record(phases={"run": {"im2col": 0.4}}),
+    )
+    assert check_bench.main([plain, "--baseline", plain]) == 0
+
+
+def test_elems_counters_are_not_gated_as_timings(tmp_path, check_bench):
+    """The *_elems buckets are deterministic element counts, not seconds:
+    a fresh record unfolding 10x the elements must not read as a 10x phase
+    regression (and must never be speed-normalized)."""
+    base = _write(tmp_path, "base.json", _parity_record(speed=0.03))
+    fresh = _write(
+        tmp_path, "fresh.json",
+        _parity_record(
+            s1_elems=10000.0, s2_elems=10000.0, s1=2.0, s2=2.0, speed=0.03
+        ),
+    )
+    # The seconds buckets regressed 10x and fail; the elems growth itself
+    # is reported nowhere in the regression list.
+    assert check_bench.main([fresh, "--baseline", base]) == 1
+    # Elems-only growth with flat seconds passes cleanly.
+    fresh_flat = _write(
+        tmp_path, "fresh_flat.json",
+        _parity_record(s1_elems=10000.0, s2_elems=10000.0, speed=0.03),
+    )
+    assert check_bench.main([fresh_flat, "--baseline", base]) == 0
 
 
 def test_phaseless_records_still_compare(tmp_path, check_bench):

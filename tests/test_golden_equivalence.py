@@ -23,10 +23,15 @@ from repro.core import ExecutionMode, RichTrace, classify, derive_layer_step
 from repro.core.bitwidth import BitWidthStats, classify_many
 from repro.core.trace import MODE_ID, Trace, TraceRecorder
 from repro.hw import build_accelerator
-from repro.nn import functional as F
+from repro.nn import backends, functional as F
 from repro.quant.qlayers import QConv2d
 
 from helpers import make_rich, make_tiny_engine
+
+# Every bit-exactness invariant below must hold under every backend that can
+# run here (the CI backend matrix additionally routes the whole suite through
+# each one via REPRO_BACKEND).
+BACKENDS = list(backends.available_backends())
 
 
 def build_mixed_trace(num_steps=4):
@@ -193,8 +198,9 @@ def _reference_conv_record(layer: QConv2d, q_in, diff):
     )
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("padding,stride", [(1, 1), (0, 1), (1, 2)])
-def test_conv_stats_match_naive_reference(padding, stride):
+def test_conv_stats_match_naive_reference(padding, stride, backend):
     rng = np.random.default_rng(5)
     weight = rng.standard_normal((6, 3, 3, 3))
     layer = QConv2d(weight, None, stride=stride, padding=padding)
@@ -206,7 +212,7 @@ def test_conv_stats_match_naive_reference(padding, stride):
         (ExecutionMode.TEMPORAL, x1),
     ]:
         layer.mode = mode
-        with TraceRecorder() as rec:
+        with TraceRecorder() as rec, backends.use_backend(backend):
             layer(x)
         record = rec.trace[0]
         q_in = layer._prev_q_in
@@ -221,7 +227,9 @@ def test_conv_stats_match_naive_reference(padding, stride):
         assert record.stats_temporal == temporal
 
 
-def test_f32_and_f64_conv_paths_identical():
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_f32_and_f64_conv_paths_identical(backend):
+    """The exactness license holds per backend: f32 == f64 bit-for-bit."""
     rng = np.random.default_rng(9)
     weight = rng.standard_normal((4, 2, 3, 3))
     fast = QConv2d(weight, None, padding=1)
@@ -237,9 +245,9 @@ def test_f32_and_f64_conv_paths_identical():
                 ExecutionMode.DENSE if step == 0 else ExecutionMode.TEMPORAL
             )
             layer.input_quant.scale = 0.05
-        with TraceRecorder() as rec_fast:
+        with TraceRecorder() as rec_fast, backends.use_backend(backend):
             out_fast = fast(x)
-        with TraceRecorder() as rec_slow:
+        with TraceRecorder() as rec_slow, backends.use_backend(backend):
             out_slow = slow(x)
         np.testing.assert_array_equal(out_fast, out_slow)
         assert rec_fast.trace[0] == rec_slow.trace[0]
@@ -287,15 +295,21 @@ def test_pad_workspace_not_shared_across_padding_widths():
     np.testing.assert_array_equal(cols, ref_cols)
 
 
-def test_instrumented_run_matches_plain_generation():
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_instrumented_run_matches_plain_generation(backend):
     """Recording + single-pass sharing must not perturb the samples."""
-    engine = make_tiny_engine(num_steps=4)
+    engine = make_tiny_engine(num_steps=4, backend=backend)
+    assert engine.backend == backend
+    assert engine.effective_backend == backend
     result = engine.run(seed=123)
     # Plain dense generation with no recorder and no temporal processing:
-    # the Ditto algorithm is bit-exact, so samples must be identical.
+    # the Ditto algorithm is bit-exact, so samples must be identical.  The
+    # plain run dispatches on the same backend as the engine - this pins
+    # within-backend bit-exactness, the invariant every backend must keep.
     from repro.quant.qlayers import reset_model_state, set_model_mode
 
     reset_model_state(engine.qmodel)
     set_model_mode(engine.qmodel, ExecutionMode.DENSE)
-    plain = engine.pipeline.generate(1, np.random.default_rng(123))
+    with backends.use_backend(backend):
+        plain = engine.pipeline.generate(1, np.random.default_rng(123))
     np.testing.assert_array_equal(result.samples, plain)

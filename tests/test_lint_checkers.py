@@ -516,7 +516,7 @@ def test_sarif_document_shape():
     run = doc["runs"][0]
     assert run["tool"]["driver"]["name"] == "repro-lint"
     rule_ids = [rule["id"] for rule in run["tool"]["driver"]["rules"]]
-    assert rule_ids == [f"RPL{n:03d}" for n in range(1, 11)]
+    assert rule_ids == [f"RPL{n:03d}" for n in range(1, 12)]
     result = run["results"][0]
     assert result["ruleId"] == "RPL001"
     assert result["baselineState"] == "unchanged"
@@ -587,7 +587,7 @@ def test_cli_baseline_accepts_known_findings(tmp_path, capsys):
 def test_cli_list_rules(capsys):
     assert lint_main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for number in range(1, 11):
+    for number in range(1, 12):
         assert f"RPL{number:03d}" in out
     # --list-rules also advertises each rule's scopes.
     assert "[src]" in out
@@ -602,18 +602,91 @@ def test_repro_cli_forwards_lint(capsys):
 
 
 # ---------------------------------------------------------------------------
-# end to end: the repo itself is clean under all ten checkers
+# RPL011 - quantized GEMMs must go through the backend dispatch
+# ---------------------------------------------------------------------------
+
+RPL011_BAD = """\
+import numpy as np
+
+
+def qk_scores(qq, dq, prev_k):
+    s_int = qq @ prev_k
+    s_int += np.matmul(dq, prev_k)
+    s_int += np.einsum("bhtd,bhsd->bhts", dq, prev_k)
+    return s_int
+"""
+
+RPL011_CLEAN = """\
+import numpy as np
+
+from repro.nn import backends
+
+
+def qk_scores(qq, dq, prev_k, x, weight):
+    bk = backends.active()
+    s_int = bk.matmul(qq, prev_k)          # dispatched: fine
+    s_int += bk.matmul(dq, prev_k)
+    mixed = x @ weight                     # unquantized operands: fine
+    probs = np.matmul(mixed, weight)       # unquantized np.matmul: fine
+    return s_int + probs
+"""
+
+RPL011_SCALAR = """\
+def blend(other):
+    q_gain = 0.5
+    return q_gain @ other
+"""
+
+
+def test_rpl011_flags_raw_quantized_gemms():
+    findings = lint_sources({"src/repro/quant/bad_gemm.py": RPL011_BAD})
+    assert [f.rule for f in findings] == ["RPL011"] * 3
+    assert [f.line for f in findings] == [5, 6, 7]
+    assert "backend" in findings[0].message
+
+
+def test_rpl011_clean_twin_is_quiet():
+    assert lint_sources({"src/repro/quant/good_gemm.py": RPL011_CLEAN}) == []
+
+
+def test_rpl011_backends_package_is_exempt():
+    # The backend implementations ARE the dispatch target.
+    assert lint_sources({"src/repro/nn/backends/custom.py": RPL011_BAD}) == []
+
+
+def test_rpl011_out_of_scope_dirs_are_quiet():
+    assert lint_sources({"src/repro/workloads/bad_gemm.py": RPL011_BAD}) == []
+
+
+def test_rpl011_dataflow_clears_scalar_operands():
+    # A provably-scalar float knob reusing a quantized-sounding name is not
+    # a GEMM; the dataflow refinement keeps the rule quiet.
+    assert lint_sources({"src/repro/quant/scalar.py": RPL011_SCALAR}) == []
+
+
+def test_rpl011_suppression():
+    shielded = RPL011_BAD.replace(
+        "    s_int = qq @ prev_k",
+        "    s_int = qq @ prev_k  # repro-lint: ignore[RPL011]",
+    )
+    findings = lint_sources({"src/repro/quant/bad_gemm.py": shielded})
+    assert [f.line for f in findings] == [6, 7]
+
+
+# ---------------------------------------------------------------------------
+# end to end: the repo itself is clean under all eleven checkers
 # ---------------------------------------------------------------------------
 
 
 def test_repo_is_clean():
-    assert len(default_checkers()) == 10
+    assert len(default_checkers()) == 11
     findings, new = run_lint(REPO_ROOT)
     assert findings == [], "\n".join(str(f) for f in findings)
     assert new == []
 
 
-def test_checker_classes_cover_ten_rules():
+def test_checker_classes_cover_eleven_rules():
+    from repro.lint.checkers import BackendDispatchChecker
     from repro.lint.dataflow import (
         DtypeFlowChecker,
         LayoutFlowChecker,
@@ -632,6 +705,7 @@ def test_checker_classes_cover_ten_rules():
         LayoutFlowChecker.rule,
         RngStreamChecker.rule,
         SessionLifecycleChecker.rule,
+        BackendDispatchChecker.rule,
     }
-    assert rules == {f"RPL{n:03d}" for n in range(1, 11)}
+    assert rules == {f"RPL{n:03d}" for n in range(1, 12)}
     assert {c.rule for c in default_checkers()} == rules

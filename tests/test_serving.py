@@ -5,6 +5,7 @@ import json
 import numpy as np
 import pytest
 
+from repro.nn import backends
 from repro.runtime.serving import (
     ARRIVAL_PATTERNS,
     SCHEDULERS,
@@ -165,6 +166,44 @@ def test_simulate_serving_reports_all_batch_sizes(tiny_report):
 def test_simulate_serving_verifies_invariance(tiny_report):
     # verify_invariance re-ran a micro-batch request-by-request bit-exactly.
     assert tiny_report.invariance_checked
+
+
+@pytest.mark.parametrize("backend", list(backends.available_backends()))
+def test_serving_verify_smoke_per_backend(backend):
+    """--verify must hold under every backend, and the report must say which."""
+    report = simulate_serving(
+        make_tiny_spec("tinyServeBk", num_steps=2),
+        batch_sizes=(2,),
+        num_requests=3,
+        rate_rps=50.0,
+        pattern="burst",
+        window_s=0.05,
+        seed=0,
+        calibrate=False,
+        verify_invariance=True,
+        backend=backend,
+    )
+    assert report.invariance_checked
+    assert report.backend == backend
+    assert report.backend_effective == backend
+    assert report.backend_fallback_reason is None
+    assert f"backend {backend}" in report.summary()
+    assert report.to_json()["backend"] == backend
+
+
+def test_serving_backend_override_conflicts_with_prebuilt_engine():
+    from repro.core import DittoEngine
+
+    spec = make_tiny_spec("tinyServeConflict", num_steps=2)
+    engine = DittoEngine.from_benchmark(spec, calibrate=False, backend="reference")
+    with pytest.raises(ValueError, match="conflicts with a prebuilt engine"):
+        simulate_serving(
+            spec,
+            engine=engine,
+            batch_sizes=(1,),
+            num_requests=1,
+            backend="blas-batched",
+        )
 
 
 def test_serving_report_renders_and_serializes(tiny_report):
